@@ -1,0 +1,492 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// engine-throughput benches and ablations of the design decisions called
+// out in DESIGN.md. Each artifact bench rebuilds its table from the shared
+// simulation grid (warmed once outside the timed region) and reports the
+// headline quantity through b.ReportMetric; run with -v to see the full
+// rows, or use cmd/experiments for the canonical reproduction.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/textplot"
+	"repro/internal/wgen"
+	"repro/internal/workload"
+)
+
+var (
+	gridOnce  sync.Once
+	gridSuite *experiments.Suite
+	gridErr   error
+)
+
+// grid returns the fully-warmed 5000-job simulation grid, built once per
+// test binary invocation.
+func grid(b *testing.B) *experiments.Suite {
+	b.Helper()
+	gridOnce.Do(func() {
+		gridSuite = experiments.NewSuite(0)
+		gridErr = gridSuite.Prefetch(experiments.GridConfigs(), 0)
+	})
+	if gridErr != nil {
+		b.Fatal(gridErr)
+	}
+	return gridSuite
+}
+
+func logTable(b *testing.B, t textplot.Table) {
+	b.Helper()
+	b.Logf("\n%s", t.Render())
+}
+
+func BenchmarkTable1Workloads(b *testing.B) {
+	s := grid(b)
+	var t textplot.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.Table1(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t)
+	base, err := s.Cell(experiments.Config{Workload: "SDSC"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(base.Results.AvgBSLD, "SDSC-avgBSLD")
+}
+
+func BenchmarkTable2GearSet(b *testing.B) {
+	var t textplot.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Table2()
+	}
+	logTable(b, t)
+	b.ReportMetric(100*dvfs.PaperPowerModel().IdleFraction(), "idle-power-%")
+}
+
+// avgSavings computes the mean computational-energy saving (percent)
+// across the five workloads at one parameter combination.
+func avgSavings(b *testing.B, s *experiments.Suite, thr float64, wq int) float64 {
+	b.Helper()
+	sum := 0.0
+	for _, w := range experiments.Workloads() {
+		base, err := s.Cell(experiments.Config{Workload: w})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := s.Cell(experiments.Config{Workload: w, BSLDThr: thr, WQThr: wq})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum += 100 * (1 - c.Results.CompEnergy/base.Results.CompEnergy)
+	}
+	return sum / float64(len(experiments.Workloads()))
+}
+
+func BenchmarkFig3NormalizedEnergy(b *testing.B) {
+	s := grid(b)
+	var t0, t1 textplot.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t0, err = experiments.Fig3(s, experiments.EnergyIdleZero); err != nil {
+			b.Fatal(err)
+		}
+		if t1, err = experiments.Fig3(s, experiments.EnergyIdleLow); err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t0)
+	logTable(b, t1)
+	// The paper's headline: 7–18% average savings depending on thresholds.
+	b.ReportMetric(avgSavings(b, s, 1.5, 0), "avg-savings-%(1.5,0)")
+	b.ReportMetric(avgSavings(b, s, 3, core.NoWQLimit), "avg-savings-%(3,NO)")
+}
+
+func BenchmarkFig4ReducedJobs(b *testing.B) {
+	s := grid(b)
+	var t textplot.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = experiments.Fig4(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t)
+	// Paper: Thunder reduces MORE jobs at threshold 1.5 than at 2 (WQ=4).
+	lo, err := s.Cell(experiments.Config{Workload: "LLNLThunder", BSLDThr: 1.5, WQThr: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hi, err := s.Cell(experiments.Config{Workload: "LLNLThunder", BSLDThr: 2, WQThr: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(lo.Results.ReducedJobs), "thunder-reduced(1.5,4)")
+	b.ReportMetric(float64(hi.Results.ReducedJobs), "thunder-reduced(2,4)")
+}
+
+func BenchmarkFig5AvgBSLD(b *testing.B) {
+	s := grid(b)
+	var t textplot.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = experiments.Fig5(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t)
+	c, err := s.Cell(experiments.Config{Workload: "CTC", BSLDThr: 3, WQThr: core.NoWQLimit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(c.Results.AvgBSLD, "CTC-BSLD(3,NO)")
+}
+
+func BenchmarkFig6WaitTrace(b *testing.B) {
+	s := grid(b)
+	var chart string
+	var t textplot.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if chart, t, err = experiments.Fig6(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s\n%s", chart, t.Render())
+	orig, dvfsRun, err := experiments.Fig6Series(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(orig[0].Results.AvgWait, "orig-wait-s")
+	b.ReportMetric(dvfsRun[0].Results.AvgWait, "dvfs-wait-s")
+}
+
+func BenchmarkFig7EnlargedWQ0(b *testing.B) {
+	s := grid(b)
+	var t textplot.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = experiments.Fig7(s, experiments.EnergyIdleZero); err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t)
+}
+
+func BenchmarkFig8EnlargedWQNo(b *testing.B) {
+	s := grid(b)
+	var t textplot.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = experiments.Fig8(s, experiments.EnergyIdleZero); err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t)
+	// Paper: 20% enlargement cuts computational energy by ~25–30%.
+	sum := 0.0
+	for _, w := range experiments.Workloads() {
+		base, err := s.Cell(experiments.Config{Workload: w})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := s.Cell(experiments.Config{Workload: w, BSLDThr: 2, WQThr: core.NoWQLimit, SizeFactor: 1.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum += 100 * (1 - c.Results.CompEnergy/base.Results.CompEnergy)
+	}
+	b.ReportMetric(sum/5, "avg-savings-%-at+20%")
+}
+
+func BenchmarkFig9EnlargedBSLD(b *testing.B) {
+	s := grid(b)
+	var t textplot.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = experiments.Fig9(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t)
+	// Paper: SDSCBlue beats its no-DVFS baseline with only 10% more CPUs.
+	base, err := s.Cell(experiments.Config{Workload: "SDSCBlue"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := s.Cell(experiments.Config{Workload: "SDSCBlue", BSLDThr: 2, WQThr: 0, SizeFactor: 1.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(base.Results.AvgBSLD, "blue-base-BSLD")
+	b.ReportMetric(c.Results.AvgBSLD, "blue-BSLD+10%")
+}
+
+func BenchmarkTable3WaitTimes(b *testing.B) {
+	s := grid(b)
+	var t textplot.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = experiments.Table3(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t)
+}
+
+// --- engine throughput ---------------------------------------------------
+
+// benchTrace caches shortened traces for the throughput benches.
+var (
+	traceMu    sync.Mutex
+	traceCache = map[string]*workload.Trace{}
+)
+
+func benchTrace(b *testing.B, name string, jobs int) *workload.Trace {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d", name, jobs)
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if tr, ok := traceCache[key]; ok {
+		return tr
+	}
+	m, err := wgen.Preset(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Jobs = jobs
+	tr, err := wgen.Generate(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	traceCache[key] = tr
+	return tr
+}
+
+// BenchmarkSimulate measures raw scheduling throughput: one full EASY
+// simulation of a 5000-job trace per iteration.
+func BenchmarkSimulate(b *testing.B) {
+	for _, name := range experiments.Workloads() {
+		b.Run(name, func(b *testing.B) {
+			tr := benchTrace(b, name, 5000)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(runner.Spec{Trace: tr}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(5000*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkSimulatePowerAware measures the power-aware scheduler's
+// overhead relative to plain EASY (the frequency loop runs per decision).
+func BenchmarkSimulatePowerAware(b *testing.B) {
+	gears := dvfs.PaperGearSet()
+	pol, err := core.NewPolicy(core.Params{BSLDThreshold: 2, WQThreshold: core.NoWQLimit},
+		gears, dvfs.NewTimeModel(runner.DefaultBeta, gears))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := benchTrace(b, "CTC", 5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(runner.Spec{Trace: tr, Policy: pol}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(5000*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// --- ablations ------------------------------------------------------------
+
+const ablationJobs = 2000
+
+func ablationPolicy(b *testing.B, params core.Params) sched.GearPolicy {
+	b.Helper()
+	gears := dvfs.PaperGearSet()
+	pol, err := core.NewPolicy(params, gears, dvfs.NewTimeModel(runner.DefaultBeta, gears))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pol
+}
+
+// BenchmarkAblationStrictBackfillBSLD compares the default lenient
+// backfill semantics against the literal Figure 2 pseudo-code on the
+// saturated SDSC workload, where the difference is largest (DESIGN.md).
+func BenchmarkAblationStrictBackfillBSLD(b *testing.B) {
+	tr := benchTrace(b, "SDSC", ablationJobs)
+	for _, strict := range []bool{false, true} {
+		name := "lenient"
+		if strict {
+			name = "strict"
+		}
+		b.Run(name, func(b *testing.B) {
+			pol := ablationPolicy(b, core.Params{
+				BSLDThreshold: 2, WQThreshold: core.NoWQLimit, StrictBackfillBSLD: strict,
+			})
+			var out runner.Outcome
+			var err error
+			for i := 0; i < b.N; i++ {
+				if out, err = runner.Run(runner.Spec{Trace: tr, Policy: pol}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(out.Results.AvgWait, "avg-wait-s")
+			b.ReportMetric(out.Results.AvgBSLD, "avg-BSLD")
+		})
+	}
+}
+
+// BenchmarkAblationBeta sweeps the β dilation sensitivity the paper fixes
+// at 0.5 (its Section 7 future work calls for a per-job β analysis).
+func BenchmarkAblationBeta(b *testing.B) {
+	tr := benchTrace(b, "SDSCBlue", ablationJobs)
+	base, err := runner.Run(runner.Spec{Trace: tr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, beta := range []float64{0.25, 0.5, 0.75, 1.0} {
+		b.Run(fmt.Sprintf("beta=%.2f", beta), func(b *testing.B) {
+			pol := ablationPolicy(b, core.Params{BSLDThreshold: 2, WQThreshold: core.NoWQLimit})
+			var out runner.Outcome
+			var err error
+			for i := 0; i < b.N; i++ {
+				if out, err = runner.Run(runner.Spec{Trace: tr, Policy: pol, Beta: beta}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*out.Results.CompEnergy/base.Results.CompEnergy, "energy-%")
+			b.ReportMetric(out.Results.AvgBSLD, "avg-BSLD")
+		})
+	}
+}
+
+// BenchmarkAblationDynamicBoost measures the paper's future-work
+// extension: raising running reduced jobs to Ftop once the queue grows.
+func BenchmarkAblationDynamicBoost(b *testing.B) {
+	tr := benchTrace(b, "SDSCBlue", ablationJobs)
+	base, err := runner.Run(runner.Spec{Trace: tr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, boost := range []bool{false, true} {
+		name := "off"
+		if boost {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			pol := ablationPolicy(b, core.Params{
+				BSLDThreshold: 2, WQThreshold: core.NoWQLimit, Boost: boost, BoostWQ: 16,
+			})
+			var out runner.Outcome
+			var err error
+			for i := 0; i < b.N; i++ {
+				if out, err = runner.Run(runner.Spec{Trace: tr, Policy: pol}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*out.Results.CompEnergy/base.Results.CompEnergy, "energy-%")
+			b.ReportMetric(out.Results.AvgWait, "avg-wait-s")
+		})
+	}
+}
+
+// BenchmarkAblationWQCounting explores the WQsize interpretation: counting
+// the job under decision itself is equivalent to lowering WQthreshold by
+// one, so the pair (1, 0) brackets the ambiguity at the paper's strictest
+// setting (DESIGN.md).
+func BenchmarkAblationWQCounting(b *testing.B) {
+	tr := benchTrace(b, "CTC", ablationJobs)
+	base, err := runner.Run(runner.Spec{Trace: tr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, wq := range []int{0, 1} {
+		b.Run(fmt.Sprintf("wq=%d", wq), func(b *testing.B) {
+			pol := ablationPolicy(b, core.Params{BSLDThreshold: 2, WQThreshold: wq})
+			var out runner.Outcome
+			var err error
+			for i := 0; i < b.N; i++ {
+				if out, err = runner.Run(runner.Spec{Trace: tr, Policy: pol}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*out.Results.CompEnergy/base.Results.CompEnergy, "energy-%")
+			b.ReportMetric(float64(out.Results.ReducedJobs), "reduced-jobs")
+		})
+	}
+}
+
+// BenchmarkAblationGearSet restricts the gear set to its upper half,
+// quantifying how much of the savings comes from the deepest gears.
+func BenchmarkAblationGearSet(b *testing.B) {
+	tr := benchTrace(b, "LLNLAtlas", ablationJobs)
+	base, err := runner.Run(runner.Spec{Trace: tr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := dvfs.PaperGearSet()
+	for _, tc := range []struct {
+		name  string
+		gears dvfs.GearSet
+	}{
+		{"all-six", full},
+		{"top-three", full.AtOrAbove(1.7)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			pol, err := core.NewPolicy(core.Params{BSLDThreshold: 2, WQThreshold: core.NoWQLimit},
+				tc.gears, dvfs.NewTimeModel(runner.DefaultBeta, tc.gears))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var out runner.Outcome
+			for i := 0; i < b.N; i++ {
+				if out, err = runner.Run(runner.Spec{Trace: tr, Policy: pol, Gears: tc.gears}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*out.Results.CompEnergy/base.Results.CompEnergy, "energy-%")
+		})
+	}
+}
+
+// BenchmarkAblationBasePolicy runs the frequency assignment on top of the
+// three base scheduling policies, supporting the paper's remark that the
+// algorithm "can be applied with any parallel job scheduling policy".
+func BenchmarkAblationBasePolicy(b *testing.B) {
+	tr := benchTrace(b, "CTC", ablationJobs)
+	for _, tc := range []struct {
+		name    string
+		variant sched.Variant
+	}{
+		{"easy", sched.EASY},
+		{"fcfs", sched.FCFS},
+		{"conservative", sched.Conservative},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			pol := ablationPolicy(b, core.Params{BSLDThreshold: 2, WQThreshold: core.NoWQLimit})
+			var out runner.Outcome
+			var err error
+			for i := 0; i < b.N; i++ {
+				if out, err = runner.Run(runner.Spec{Trace: tr, Policy: pol, Variant: tc.variant}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(out.Results.AvgBSLD, "avg-BSLD")
+			b.ReportMetric(out.Results.AvgWait, "avg-wait-s")
+		})
+	}
+}

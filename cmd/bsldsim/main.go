@@ -1,0 +1,287 @@
+// Command bsldsim runs one power-aware job scheduling simulation and
+// prints the scheduling and energy metrics.
+//
+// The workload is either one of the built-in synthetic models calibrated
+// to the paper's traces (-workload CTC|SDSC|SDSCBlue|LLNLThunder|LLNLAtlas)
+// or a Standard Workload Format file (-swf trace.swf).
+//
+// Examples:
+//
+//	bsldsim -workload SDSCBlue -bsld 2 -wq 16
+//	bsldsim -workload CTC -bsld 3 -wq -1 -size 1.2
+//	bsldsim -swf mytrace.swf -cpus 512 -bsld 2 -wq 0
+//	bsldsim -workload CTC -nodvfs            # EASY baseline
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/wgen"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "CTC", "built-in workload model (CTC, SDSC, SDSCBlue, LLNLThunder, LLNLAtlas)")
+		swf     = flag.String("swf", "", "read this SWF trace instead of a built-in model")
+		cpus    = flag.Int("cpus", 0, "system size for -swf traces without a MaxProcs header; 0 = from header")
+		jobs    = flag.Int("jobs", wgen.StandardJobs, "trace segment length for built-in models")
+		bsldThr = flag.Float64("bsld", 2, "BSLDthreshold of the frequency assignment algorithm")
+		wqThr   = flag.Int("wq", 0, "WQthreshold (jobs waiting); -1 = no limit")
+		size    = flag.Float64("size", 1.0, "system size factor (1.2 = 20% enlarged)")
+		beta    = flag.Float64("beta", runner.DefaultBeta, "β of the execution time model")
+		variant = flag.String("policy", "easy", "base scheduling policy: easy, fcfs, conservative")
+		sel     = flag.String("select", "firstfit", "resource selection policy: firstfit, contiguous, nextfit")
+		noDVFS  = flag.Bool("nodvfs", false, "disable frequency scaling (baseline)")
+		strict  = flag.Bool("strict-backfill", false, "literal Figure 2 semantics: BSLD check gates backfills even at Ftop")
+		boost   = flag.Int("boost", -1, "dynamic boost extension: raise running reduced jobs to Ftop when more than N jobs wait; -1 disables")
+		verbose = flag.Bool("v", false, "print per-gear breakdown")
+		asJSON  = flag.Bool("json", false, "emit the report as JSON for downstream tooling")
+		cfgPath = flag.String("config", "", "JSON configuration file declaring platform, policy, machine and workload (overrides the other flags)")
+		dump    = flag.String("dump", "", "write per-job records (submit, wait, gear, BSLD, energy) to this CSV file")
+	)
+	flag.Parse()
+	var err error
+	if *cfgPath != "" {
+		err = runConfig(*cfgPath, *verbose, *asJSON, *dump)
+	} else {
+		err = run(*wl, *swf, *cpus, *jobs, *bsldThr, *wqThr, *size, *beta, *variant, *sel, *noDVFS, *strict, *boost, *verbose, *asJSON, *dump)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsldsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runConfig executes a simulation declared in a configuration file.
+func runConfig(path string, verbose, asJSON bool, dump string) error {
+	f, err := config.Load(path)
+	if err != nil {
+		return err
+	}
+	spec, err := f.BuildSpec()
+	if err != nil {
+		return err
+	}
+	spec.KeepCollector = verbose || dump != ""
+	out, err := runner.Run(spec)
+	if err != nil {
+		return err
+	}
+	base := spec
+	base.Policy = nil
+	base.KeepCollector = false
+	baseOut, err := runner.Run(base)
+	if err != nil {
+		return err
+	}
+	sizeFactor := spec.SizeFactor
+	if sizeFactor == 0 {
+		sizeFactor = 1
+	}
+	if dump != "" {
+		if err := dumpRecords(dump, out); err != nil {
+			return err
+		}
+	}
+	return report(spec.Trace, out, baseOut, spec.Variant, spec.Selection, sizeFactor, verbose, asJSON)
+}
+
+// dumpRecords writes the per-job outcomes for offline analysis.
+func dumpRecords(path string, out runner.Outcome) error {
+	if out.Collector == nil {
+		return fmt.Errorf("internal: records not collected")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "job,user,submit_s,start_s,wait_s,procs,runtime_s,reqtime_s,gear_ghz,reduced,penalized_runtime_s,bsld,energy,alloc_runs")
+	for _, rec := range out.Collector.Records() {
+		j := rec.Job
+		fmt.Fprintf(w, "%d,%d,%.3f,%.3f,%.3f,%d,%.3f,%.3f,%.1f,%t,%.3f,%.6f,%.6g,%d\n",
+			j.ID, j.User, j.Submit, rec.Start, rec.Wait, j.Procs, j.Runtime, j.ReqTime,
+			rec.FinalGear.Freq, rec.Reduced, rec.PenalizedRuntime, rec.BSLD, rec.Energy, rec.AllocRuns)
+	}
+	return w.Flush()
+}
+
+// jsonReport is the machine-readable form of one simulation outcome.
+type jsonReport struct {
+	Workload       string  `json:"workload"`
+	Jobs           int     `json:"jobs"`
+	CPUs           int     `json:"cpus"`
+	SizeFactor     float64 `json:"size_factor"`
+	Policy         string  `json:"policy"`
+	Variant        string  `json:"variant"`
+	AvgBSLD        float64 `json:"avg_bsld"`
+	AvgWaitSec     float64 `json:"avg_wait_sec"`
+	MaxWaitSec     float64 `json:"max_wait_sec"`
+	ReducedJobs    int     `json:"reduced_jobs"`
+	Utilization    float64 `json:"utilization"`
+	WindowSec      float64 `json:"window_sec"`
+	CompEnergy     float64 `json:"comp_energy"`
+	TotalEnergyLow float64 `json:"total_energy_idle_low"`
+	NormComp       float64 `json:"normalized_comp_energy"`
+	NormTotalLow   float64 `json:"normalized_total_energy"`
+}
+
+func run(wl, swf string, cpus, jobs int, bsldThr float64, wqThr int, size, beta float64,
+	variant, sel string, noDVFS, strict bool, boost int, verbose, asJSON bool, dump string) error {
+	tr, err := loadTrace(wl, swf, cpus, jobs)
+	if err != nil {
+		return err
+	}
+	var v sched.Variant
+	switch strings.ToLower(variant) {
+	case "easy":
+		v = sched.EASY
+	case "fcfs":
+		v = sched.FCFS
+	case "conservative", "cons":
+		v = sched.Conservative
+	default:
+		return fmt.Errorf("unknown policy %q", variant)
+	}
+	selection, err := cluster.ParseSelection(strings.ToLower(sel))
+	if err != nil {
+		return err
+	}
+
+	spec := runner.Spec{Trace: tr, SizeFactor: size, Variant: v, Beta: beta,
+		Selection: selection, KeepCollector: verbose || dump != ""}
+	if !noDVFS {
+		gears := dvfs.PaperGearSet()
+		wq := wqThr
+		if wq < 0 {
+			wq = core.NoWQLimit
+		}
+		pol, err := core.NewPolicy(core.Params{
+			BSLDThreshold:      bsldThr,
+			WQThreshold:        wq,
+			StrictBackfillBSLD: strict,
+			Boost:              boost >= 0,
+			BoostWQ:            max(boost, 0),
+		}, gears, dvfs.NewTimeModel(beta, gears))
+		if err != nil {
+			return err
+		}
+		spec.Policy = pol
+	}
+	out, err := runner.Run(spec)
+	if err != nil {
+		return err
+	}
+	base, err := runner.Run(runner.Spec{Trace: tr, SizeFactor: size, Variant: v, Beta: beta})
+	if err != nil {
+		return err
+	}
+	if dump != "" {
+		if err := dumpRecords(dump, out); err != nil {
+			return err
+		}
+	}
+	return report(tr, out, base, v, selection, size, verbose, asJSON)
+}
+
+// report renders the outcome in either human or JSON form.
+func report(tr *workload.Trace, out, base runner.Outcome, v sched.Variant,
+	selection cluster.Selection, size float64, verbose, asJSON bool) error {
+	r := out.Results
+	if asJSON {
+		rep := jsonReport{
+			Workload: tr.Name, Jobs: r.Jobs, CPUs: out.CPUs, SizeFactor: size,
+			Policy: out.Policy, Variant: v.String(),
+			AvgBSLD: r.AvgBSLD, AvgWaitSec: r.AvgWait, MaxWaitSec: r.MaxWait,
+			ReducedJobs: r.ReducedJobs, Utilization: r.Utilization, WindowSec: r.Window,
+			CompEnergy: r.CompEnergy, TotalEnergyLow: r.TotalEnergyLow,
+			NormComp:     r.CompEnergy / base.Results.CompEnergy,
+			NormTotalLow: r.TotalEnergyLow / base.Results.TotalEnergyLow,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("workload      %s (%d jobs, %d CPUs, size ×%.2f)\n", tr.Name, r.Jobs, out.CPUs, size)
+	fmt.Printf("policy        %s over %s\n", out.Policy, v)
+	fmt.Printf("avg BSLD      %.2f\n", r.AvgBSLD)
+	fmt.Printf("avg wait      %.0f s   (max %.0f s)\n", r.AvgWait, r.MaxWait)
+	fmt.Printf("reduced jobs  %d / %d\n", r.ReducedJobs, r.Jobs)
+	fmt.Printf("utilization   %.3f over %.0f s window\n", r.Utilization, r.Window)
+	fmt.Printf("placement     %s selection, %.2f mean contiguous runs per job\n", selection, r.MeanAllocRuns)
+	fmt.Printf("energy        computational %.4g   total(idle=low) %.4g\n", r.CompEnergy, r.TotalEnergyLow)
+	fmt.Printf("normalized    computational %.2f%%   total(idle=low) %.2f%%   (vs no-DVFS baseline)\n",
+		100*r.CompEnergy/base.Results.CompEnergy, 100*r.TotalEnergyLow/base.Results.TotalEnergyLow)
+
+	if verbose && out.Collector != nil {
+		type agg struct {
+			n      int
+			energy float64
+		}
+		byGear := map[dvfs.Gear]*agg{}
+		for _, rec := range out.Collector.Records() {
+			a := byGear[rec.FinalGear]
+			if a == nil {
+				a = &agg{}
+				byGear[rec.FinalGear] = a
+			}
+			a.n++
+			a.energy += rec.Energy
+		}
+		fmt.Println("per final gear:")
+		for _, g := range dvfs.PaperGearSet() {
+			if a := byGear[g]; a != nil {
+				fmt.Printf("  %-14s %5d jobs  energy %.4g\n", g, a.n, a.energy)
+			}
+		}
+		wp := out.Collector.WaitPercentiles()
+		bp := out.Collector.BSLDPercentiles()
+		fmt.Printf("wait percentiles (s): p50 %.0f  p90 %.0f  p95 %.0f  p99 %.0f  max %.0f\n",
+			wp.P50, wp.P90, wp.P95, wp.P99, wp.Max)
+		fmt.Printf("BSLD percentiles:     p50 %.2f  p90 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+			bp.P50, bp.P90, bp.P95, bp.P99, bp.Max)
+		fmt.Printf("energy-delay product: %.4g\n", r.EnergyDelayProduct())
+		fmt.Println("per job class:")
+		bd := out.Collector.Breakdown(out.CPUs)
+		for _, cl := range metrics.Classes() {
+			st, ok := bd[cl]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-12s %5d jobs  BSLD %6.2f  wait %7.0f s  energy share %5.1f%%  reduced %d\n",
+				cl, st.Jobs, st.AvgBSLD, st.AvgWait, 100*st.EnergyShare, st.Reduced)
+		}
+	}
+	return nil
+}
+
+func loadTrace(wl, swf string, cpus, jobs int) (*workload.Trace, error) {
+	if swf != "" {
+		f, err := os.Open(swf)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.ParseSWF(f, swf, cpus)
+	}
+	model, err := wgen.Preset(wl)
+	if err != nil {
+		return nil, err
+	}
+	model.Jobs = jobs
+	return wgen.Generate(model)
+}

@@ -1,0 +1,48 @@
+// Command calibrate is a development aid: it prints baseline and
+// DVFS-policy metrics for the five workload presets so generator loads can
+// be tuned against the paper's Tables 1 and 3.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/runner"
+	"repro/internal/wgen"
+)
+
+func main() {
+	gears := dvfs.PaperGearSet()
+	tm := dvfs.NewTimeModel(runner.DefaultBeta, gears)
+	for _, m := range wgen.Presets() {
+		tr, err := wgen.Generate(m)
+		if err != nil {
+			panic(err)
+		}
+		base, err := runner.Run(runner.Spec{Trace: tr})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-12s base: BSLD=%6.2f wait=%7.0f Ecomp=%11.4g\n",
+			m.Name, base.Results.AvgBSLD, base.Results.AvgWait, base.Results.CompEnergy)
+		for _, cfg := range []struct {
+			thr float64
+			wq  int
+		}{{1.5, 0}, {2, 4}, {2, core.NoWQLimit}, {3, core.NoWQLimit}} {
+			pol, err := core.NewPolicy(core.Params{BSLDThreshold: cfg.thr, WQThreshold: cfg.wq}, gears, tm)
+			if err != nil {
+				panic(err)
+			}
+			out, err := runner.Run(runner.Spec{Trace: tr, Policy: pol})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("  %-14s BSLD=%6.2f wait=%7.0f Ecomp=%6.2f%% Elow=%6.2f%% reduced=%4d\n",
+				pol.Name(), out.Results.AvgBSLD, out.Results.AvgWait,
+				100*out.Results.CompEnergy/base.Results.CompEnergy,
+				100*out.Results.TotalEnergyLow/base.Results.TotalEnergyLow,
+				out.Results.ReducedJobs)
+		}
+	}
+}

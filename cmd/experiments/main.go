@@ -1,0 +1,55 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Tables 1–3, Figures 3–9) from the calibrated synthetic
+// workloads, printing text renditions and writing CSV files.
+//
+// Usage:
+//
+//	experiments                  # full 5000-job reproduction, CSVs in ./out
+//	experiments -jobs 1000       # quicker, shorter trace segments
+//	experiments -outdir /tmp/x   # CSV destination
+//	experiments -workers 4       # bound simulation parallelism
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		jobs    = flag.Int("jobs", 0, "trace segment length; 0 = the paper's 5000")
+		outdir  = flag.String("outdir", "out", "directory for CSV files; empty disables")
+		workers = flag.Int("workers", 0, "parallel simulations; 0 = GOMAXPROCS")
+		ext     = flag.Bool("ext", false, "also run the beyond-the-paper extension experiments")
+		svg     = flag.Bool("svg", false, "also render the figures as SVG files in the output directory")
+	)
+	flag.Parse()
+	start := time.Now()
+	s := experiments.NewSuite(*jobs)
+	if err := experiments.RunAll(s, os.Stdout, *outdir, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *ext {
+		if err := experiments.RunExtensions(s, os.Stdout, *outdir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *svg && *outdir != "" {
+		if err := experiments.WriteSVGs(s, *outdir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("SVG figures written to %s/\n", *outdir)
+	}
+	fmt.Printf("reproduced all tables and figures in %s (%d-job segments)\n",
+		time.Since(start).Round(time.Millisecond), s.Jobs())
+	if *outdir != "" {
+		fmt.Printf("CSV files written to %s/\n", *outdir)
+	}
+}

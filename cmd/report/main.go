@@ -1,0 +1,59 @@
+// Command report produces a single self-contained HTML document with the
+// complete reproduction: the verification checklist, every table of the
+// paper's evaluation annotated with the paper's values, and every figure
+// as inline SVG.
+//
+// Usage:
+//
+//	report                      # full 5000-job reproduction -> report.html
+//	report -o out/report.html -jobs 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		jobs    = flag.Int("jobs", 0, "trace segment length; 0 = the paper's 5000")
+		out     = flag.String("o", "report.html", "output file")
+		workers = flag.Int("workers", 0, "parallel simulations; 0 = GOMAXPROCS")
+	)
+	flag.Parse()
+	start := time.Now()
+	s := experiments.NewSuite(*jobs)
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if err := s.Prefetch(experiments.GridConfigs(), w); err != nil {
+		fail(err)
+	}
+	data, err := report.Build(s)
+	if err != nil {
+		fail(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := report.Render(f, data); err != nil {
+		fail(err)
+	}
+	fmt.Printf("report written to %s in %s (%d-job segments, %d checks, %d tables, %d figures)\n",
+		*out, time.Since(start).Round(time.Millisecond), s.Jobs(),
+		len(data.Checks), len(data.Sections), len(data.Figures))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

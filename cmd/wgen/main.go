@@ -1,0 +1,91 @@
+// Command wgen generates the synthetic workload traces in Standard
+// Workload Format, or summarizes an existing SWF file, so the calibrated
+// models can be inspected, exported and exchanged with other schedulers.
+//
+// Usage:
+//
+//	wgen -workload SDSCBlue > sdscblue.swf     # export a model
+//	wgen -workload CTC -jobs 1000 -seed 7      # shorter trace, new seed
+//	wgen -inspect trace.swf [-cpus 512]        # summarize an SWF file
+//	wgen -list                                 # list built-in models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/wgen"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "", "built-in model to export as SWF")
+		jobs    = flag.Int("jobs", wgen.StandardJobs, "number of jobs to generate")
+		seed    = flag.Int64("seed", 0, "override the model's RNG seed (0 keeps the default)")
+		inspect = flag.String("inspect", "", "summarize this SWF file instead of generating")
+		cpus    = flag.Int("cpus", 0, "system size for -inspect files without a MaxProcs header")
+		list    = flag.Bool("list", false, "list the built-in workload models")
+	)
+	flag.Parse()
+	if err := run(*wl, *jobs, *seed, *inspect, *cpus, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "wgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl string, jobs int, seed int64, inspect string, cpus int, list bool) error {
+	switch {
+	case list:
+		fmt.Printf("%-12s %6s %6s %6s %5s\n", "name", "cpus", "jobs", "load", "cv")
+		for _, m := range wgen.Presets() {
+			fmt.Printf("%-12s %6d %6d %6.2f %5.1f\n", m.Name, m.CPUs, m.Jobs, m.Load, m.ArrivalCV)
+		}
+		return nil
+
+	case inspect != "":
+		f, err := os.Open(inspect)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := workload.ParseSWF(f, inspect, cpus)
+		if err != nil {
+			return err
+		}
+		summarize(tr)
+		return nil
+
+	case wl != "":
+		model, err := wgen.Preset(wl)
+		if err != nil {
+			return err
+		}
+		model.Jobs = jobs
+		if seed != 0 {
+			model.Seed = seed
+		}
+		tr, err := wgen.Generate(model)
+		if err != nil {
+			return err
+		}
+		return workload.WriteSWF(os.Stdout, tr)
+
+	default:
+		return fmt.Errorf("one of -workload, -inspect or -list is required")
+	}
+}
+
+func summarize(tr *workload.Trace) {
+	st := tr.ComputeStats()
+	fmt.Printf("trace        %s\n", tr.Name)
+	fmt.Printf("system       %d CPUs\n", tr.CPUs)
+	fmt.Printf("jobs         %d\n", st.Jobs)
+	fmt.Printf("span         %.0f s (%.1f days)\n", st.Span, st.Span/86400)
+	fmt.Printf("demand       %.0f CPU-hours\n", st.TotalCPUHours)
+	fmt.Printf("offered load %.3f\n", st.Utilization)
+	fmt.Printf("serial share %.2f\n", st.SerialShare)
+	fmt.Printf("mean runtime %.0f s\n", st.MeanRuntime)
+	fmt.Printf("mean procs   %.1f\n", st.MeanProcs)
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces "BSLD Threshold Driven Power Management Policy
+// for HPC Centers" (Etinski, Corbalan, Labarta, Valero — IPDPS 2010): a
+// power-aware EASY backfilling job scheduler for DVFS-enabled clusters
+// that assigns each job the lowest CPU frequency keeping its predicted
+// bounded slowdown under a threshold.
+//
+// The root package carries the benchmark harness regenerating every table
+// and figure of the paper (bench_test.go); the implementation lives under
+// internal/ (see DESIGN.md for the system inventory) and the runnable
+// entry points under cmd/ and examples/.
+package repro

@@ -1,0 +1,85 @@
+// Schedulers compares the base scheduling policies the library implements
+// — FCFS, classic EASY backfilling (the paper's base), flexible
+// backfilling with K reservations, conservative backfilling, and EASY
+// with SJF queue order — under identical workload and frequency policy.
+// It shows where the paper's choice (EASY, FCFS order) sits in the
+// fairness/performance space.
+//
+//	go run ./examples/schedulers              # CTC workload
+//	go run ./examples/schedulers SDSCBlue
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/textplot"
+	"repro/internal/wgen"
+)
+
+func main() {
+	name := "CTC"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	model, err := wgen.Preset(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model.Jobs = 2000
+	trace, err := wgen.Generate(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gears := dvfs.PaperGearSet()
+	policy, err := core.NewPolicy(core.Params{BSLDThreshold: 2, WQThreshold: 16},
+		gears, dvfs.NewTimeModel(runner.DefaultBeta, gears))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schedulers := []struct {
+		label string
+		spec  runner.Spec
+	}{
+		{"FCFS", runner.Spec{Variant: sched.FCFS}},
+		{"EASY (paper)", runner.Spec{Variant: sched.EASY}},
+		{"EASY depth-4", runner.Spec{Variant: sched.EASY, Reservations: 4}},
+		{"conservative", runner.Spec{Variant: sched.Conservative}},
+		{"EASY + SJF order", runner.Spec{Variant: sched.EASY, Order: sched.SJFOrder}},
+	}
+	table := textplot.Table{
+		Title: fmt.Sprintf("Base scheduling policies under bsld(2,16) on %s (%d jobs, %d CPUs)",
+			name, model.Jobs, model.CPUs),
+		Header: []string{"scheduler", "avgBSLD", "avgWait(s)", "p95Wait(s)", "maxWait(s)", "reduced", "energy"},
+		Note:   "energy = computational, normalized to the FCFS row",
+	}
+	var base float64
+	for i, sc := range schedulers {
+		spec := sc.spec
+		spec.Trace = trace
+		spec.Policy = policy
+		spec.KeepCollector = true
+		out, err := runner.Run(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = out.Results.CompEnergy
+		}
+		wp := out.Collector.WaitPercentiles()
+		table.AddRow(sc.label,
+			fmt.Sprintf("%.2f", out.Results.AvgBSLD),
+			fmt.Sprintf("%.0f", out.Results.AvgWait),
+			fmt.Sprintf("%.0f", wp.P95),
+			fmt.Sprintf("%.0f", wp.Max),
+			fmt.Sprint(out.Results.ReducedJobs),
+			fmt.Sprintf("%.2f%%", 100*out.Results.CompEnergy/base))
+	}
+	fmt.Print(table.Render())
+}

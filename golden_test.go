@@ -1,0 +1,121 @@
+package repro
+
+// Golden regression tests: exact metric values for fixed seeds. Every
+// layer of the pipeline is deterministic (seeded generators, totally
+// ordered events), so any drift here means the scheduling, power or
+// accounting semantics changed — recalibrate EXPERIMENTS.md if the change
+// is intentional.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/runner"
+	"repro/internal/wgen"
+)
+
+// goldenTolerance is loose enough to survive floating-point reassociation
+// across Go releases but far tighter than any semantic change.
+const goldenTolerance = 1e-10
+
+func goldenRun(t *testing.T, policy bool) runner.Outcome {
+	t.Helper()
+	m := wgen.CTC()
+	m.Jobs = 400
+	tr, err := wgen.Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := runner.Spec{Trace: tr}
+	if policy {
+		gears := dvfs.PaperGearSet()
+		pol, err := core.NewPolicy(core.Params{BSLDThreshold: 2, WQThreshold: 16},
+			gears, dvfs.NewTimeModel(runner.DefaultBeta, gears))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Policy = pol
+	}
+	out, err := runner.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > goldenTolerance {
+		t.Errorf("%s = %.12g, want %.12g", name, got, want)
+	}
+}
+
+func TestGoldenBaselineCTC400(t *testing.T) {
+	r := goldenRun(t, false).Results
+	approx(t, "AvgBSLD", r.AvgBSLD, 1.05059226123)
+	approx(t, "AvgWait", r.AvgWait, 104.162471004)
+	approx(t, "CompEnergy", r.CompEnergy, 1.08987894797e8)
+	if r.ReducedJobs != 0 {
+		t.Errorf("ReducedJobs = %d, want 0", r.ReducedJobs)
+	}
+}
+
+func TestGoldenPolicyCTC400(t *testing.T) {
+	r := goldenRun(t, true).Results
+	approx(t, "AvgBSLD", r.AvgBSLD, 2.16077057902)
+	approx(t, "AvgWait", r.AvgWait, 1243.55565344)
+	approx(t, "CompEnergy", r.CompEnergy, 7.10142596357e7)
+	if r.ReducedJobs != 294 {
+		t.Errorf("ReducedJobs = %d, want 294", r.ReducedJobs)
+	}
+}
+
+// Golden baselines for every calibrated preset (400-job prefixes): the
+// generator streams and the scheduling semantics are pinned together. A
+// tolerance of 1e-10 passes float noise but fails any semantic drift.
+func TestGoldenAllPresets(t *testing.T) {
+	golden := map[string][3]float64{ // AvgBSLD, AvgWait, CompEnergy
+		"CTC":         {1.050592261, 104.162471, 1.089878948e8},
+		"SDSC":        {2.223299188, 1607.619254, 1.101470206e8},
+		"SDSCBlue":    {1.437702914, 727.0844868, 4.673088275e8},
+		"LLNLThunder": {1, 0, 1.007965528e9},
+		"LLNLAtlas":   {1.027572151, 35.06091719, 5.328235202e9},
+	}
+	// These constants carry 10 significant digits, so compare at 1e-8.
+	approx10 := func(name string, got, want float64) {
+		t.Helper()
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("%s = %v, want 0", name, got)
+			}
+			return
+		}
+		if math.Abs(got-want)/math.Abs(want) > 1e-8 {
+			t.Errorf("%s = %.12g, want %.12g", name, got, want)
+		}
+	}
+	for _, m := range wgen.Presets() {
+		m.Jobs = 400
+		tr, err := wgen.Generate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := runner.Run(runner.Spec{Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := golden[m.Name]
+		r := out.Results
+		approx10(m.Name+".AvgBSLD", r.AvgBSLD, want[0])
+		approx10(m.Name+".AvgWait", r.AvgWait, want[1])
+		approx10(m.Name+".CompEnergy", r.CompEnergy, want[2])
+	}
+}

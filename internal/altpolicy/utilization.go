@@ -1,0 +1,91 @@
+// Package altpolicy implements comparison frequency-assignment policies
+// from the paper's related work, so the BSLD-threshold algorithm can be
+// judged against the obvious alternatives rather than only against the
+// no-DVFS baseline.
+package altpolicy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dvfs"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// UtilizationDriven assigns gears from the instantaneous cluster
+// utilization, the trigger Fan et al. investigate for warehouse-scale
+// machines (related work §6): an idle machine runs new jobs at the lowest
+// gear, a busy one at the top gear, linear in between. Unlike the paper's
+// policy it looks at no per-job prediction, so nothing bounds the
+// slowdown a reduced job may suffer — which is exactly the contrast the
+// comparison is meant to expose.
+type UtilizationDriven struct {
+	Gears dvfs.GearSet
+	// LowUtil and HighUtil bracket the mapping: utilization at or below
+	// LowUtil selects the lowest gear, at or above HighUtil the top gear.
+	LowUtil, HighUtil float64
+
+	sys *sched.System
+}
+
+var (
+	_ sched.GearPolicy   = (*UtilizationDriven)(nil)
+	_ sched.SystemBinder = (*UtilizationDriven)(nil)
+)
+
+// NewUtilizationDriven validates the bracket and returns the policy.
+func NewUtilizationDriven(gears dvfs.GearSet, lowUtil, highUtil float64) (*UtilizationDriven, error) {
+	if err := gears.Validate(); err != nil {
+		return nil, err
+	}
+	if lowUtil < 0 || highUtil > 1 || lowUtil >= highUtil {
+		return nil, fmt.Errorf("altpolicy: utilization bracket [%v,%v] invalid", lowUtil, highUtil)
+	}
+	return &UtilizationDriven{Gears: gears, LowUtil: lowUtil, HighUtil: highUtil}, nil
+}
+
+// Bind implements sched.SystemBinder.
+func (p *UtilizationDriven) Bind(sys *sched.System) { p.sys = sys }
+
+// Name implements sched.GearPolicy.
+func (p *UtilizationDriven) Name() string {
+	return fmt.Sprintf("util(%g,%g)", p.LowUtil, p.HighUtil)
+}
+
+// target maps current utilization to a gear index.
+func (p *UtilizationDriven) target() int {
+	cl := p.sys.Cluster()
+	util := float64(cl.Busy()) / float64(cl.Total())
+	switch {
+	case util <= p.LowUtil:
+		return 0
+	case util >= p.HighUtil:
+		return len(p.Gears) - 1
+	}
+	frac := (util - p.LowUtil) / (p.HighUtil - p.LowUtil)
+	idx := int(math.Round(frac * float64(len(p.Gears)-1)))
+	if idx >= len(p.Gears) {
+		idx = len(p.Gears) - 1
+	}
+	return idx
+}
+
+// ReserveGear implements sched.GearPolicy.
+func (p *UtilizationDriven) ReserveGear(j *workload.Job, start, now float64, wqOthers int) dvfs.Gear {
+	return p.Gears[p.target()]
+}
+
+// BackfillGear implements sched.GearPolicy: start from the
+// utilization-selected gear and climb until the reservation is safe.
+func (p *UtilizationDriven) BackfillGear(j *workload.Job, now float64, wqOthers int, feasible func(dvfs.Gear) bool) (dvfs.Gear, bool) {
+	for i := p.target(); i < len(p.Gears); i++ {
+		if feasible(p.Gears[i]) {
+			return p.Gears[i], true
+		}
+	}
+	return dvfs.Gear{}, false
+}
+
+// PostPass implements sched.GearPolicy (no dynamic adjustment).
+func (p *UtilizationDriven) PostPass(sys *sched.System, now float64) {}

@@ -1,0 +1,192 @@
+// Package cluster models the machine: a pool of identical DVFS-enabled
+// processors. It implements the resource selection policies of the
+// paper's simulator architecture (§3.1) — First Fit, as used in the
+// paper's experiments, plus contiguous best-fit and next-fit — and
+// integrates busy CPU-time over the run, which the energy accounting
+// needs to charge idle power to unused processors.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Alloc is a concrete assignment of processors to a job.
+type Alloc struct {
+	IDs []int // processor identifiers, ascending
+}
+
+// intHeap is a min-heap of processor IDs backing the First Fit free list.
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Cluster tracks processor occupancy over simulated time. All mutating
+// calls carry the current simulation time so the busy integral stays
+// exact. The zero value is not usable; construct with New or
+// NewWithSelection.
+type Cluster struct {
+	total int
+	sel   Selection
+
+	// First Fit uses a min-heap free list (O(log n) per processor); the
+	// other policies keep a bitmap they scan.
+	free    intHeap
+	freeMap []bool
+	nfree   int
+	cursor  int // next-fit scan position
+
+	busy         int
+	lastChange   float64
+	busyIntegral float64 // Σ busy · dt, CPU-seconds
+}
+
+// New returns a cluster of total processors under First Fit selection.
+func New(total int) *Cluster {
+	c, err := NewWithSelection(total, FirstFit)
+	if err != nil {
+		panic("cluster: " + err.Error())
+	}
+	return c
+}
+
+// NewWithSelection returns a cluster using the given selection policy.
+func NewWithSelection(total int, sel Selection) (*Cluster, error) {
+	if total < 1 {
+		return nil, fmt.Errorf("invalid size %d", total)
+	}
+	c := &Cluster{total: total, sel: sel, nfree: total}
+	switch sel {
+	case FirstFit:
+		c.free = make(intHeap, total)
+		for i := range c.free {
+			c.free[i] = i
+		}
+		heap.Init(&c.free)
+	case ContiguousBestFit, NextFit:
+		c.freeMap = make([]bool, total)
+		for i := range c.freeMap {
+			c.freeMap[i] = true
+		}
+	default:
+		return nil, fmt.Errorf("unknown selection policy %v", sel)
+	}
+	return c, nil
+}
+
+// Total returns the number of processors in the machine.
+func (c *Cluster) Total() int { return c.total }
+
+// Selection returns the active resource selection policy.
+func (c *Cluster) Selection() Selection { return c.sel }
+
+// FreeCount returns the number of currently unallocated processors.
+func (c *Cluster) FreeCount() int { return c.nfree }
+
+// Busy returns the number of currently allocated processors.
+func (c *Cluster) Busy() int { return c.busy }
+
+// Allocate reserves n free processors at time now, chosen by the
+// selection policy. It fails if fewer than n processors are free or time
+// runs backwards.
+func (c *Cluster) Allocate(n int, now float64) (Alloc, error) {
+	if n < 1 || n > c.nfree {
+		return Alloc{}, fmt.Errorf("cluster: cannot allocate %d of %d free processors", n, c.nfree)
+	}
+	if now < c.lastChange {
+		return Alloc{}, fmt.Errorf("cluster: time moved backwards (%v < %v)", now, c.lastChange)
+	}
+	c.advance(now)
+	var ids []int
+	switch c.sel {
+	case FirstFit:
+		ids = make([]int, n)
+		for i := 0; i < n; i++ {
+			ids[i] = heap.Pop(&c.free).(int)
+		}
+	case ContiguousBestFit:
+		ids = c.selectContiguous(n)
+	case NextFit:
+		ids = c.selectNextFit(n)
+	}
+	if len(ids) != n {
+		return Alloc{}, fmt.Errorf("cluster: selection %v produced %d of %d processors", c.sel, len(ids), n)
+	}
+	if c.freeMap != nil {
+		for _, id := range ids {
+			c.freeMap[id] = false
+		}
+	}
+	c.nfree -= n
+	c.busy += n
+	return Alloc{IDs: ids}, nil
+}
+
+// Release returns an allocation's processors to the free pool at time now.
+func (c *Cluster) Release(a Alloc, now float64) error {
+	if now < c.lastChange {
+		return fmt.Errorf("cluster: time moved backwards (%v < %v)", now, c.lastChange)
+	}
+	if c.busy < len(a.IDs) {
+		return fmt.Errorf("cluster: releasing %d processors with only %d busy", len(a.IDs), c.busy)
+	}
+	for _, id := range a.IDs {
+		if id < 0 || id >= c.total {
+			return fmt.Errorf("cluster: releasing foreign processor %d", id)
+		}
+		if c.freeMap != nil && c.freeMap[id] {
+			return fmt.Errorf("cluster: double release of processor %d", id)
+		}
+	}
+	c.advance(now)
+	for _, id := range a.IDs {
+		if c.freeMap != nil {
+			c.freeMap[id] = true
+		} else {
+			heap.Push(&c.free, id)
+		}
+	}
+	c.nfree += len(a.IDs)
+	c.busy -= len(a.IDs)
+	return nil
+}
+
+// advance accrues the busy integral up to now.
+func (c *Cluster) advance(now float64) {
+	c.busyIntegral += float64(c.busy) * (now - c.lastChange)
+	c.lastChange = now
+}
+
+// BusyCPUSeconds returns the integral of busy processors over time through
+// now. now must not precede the last state change.
+func (c *Cluster) BusyCPUSeconds(now float64) float64 {
+	if now < c.lastChange {
+		now = c.lastChange
+	}
+	return c.busyIntegral + float64(c.busy)*(now-c.lastChange)
+}
+
+// IdleCPUSeconds returns total·window − busy integral for the window
+// [start, now]. The busy integral is assumed to have started accruing at
+// or after start.
+func (c *Cluster) IdleCPUSeconds(start, now float64) float64 {
+	window := now - start
+	if window < 0 {
+		window = 0
+	}
+	idle := float64(c.total)*window - c.BusyCPUSeconds(now)
+	if idle < 0 {
+		idle = 0
+	}
+	return idle
+}

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchAllocRelease exercises a steady allocate/release mix at ~75%
+// occupancy on an Atlas-sized machine under each selection policy.
+func benchAllocRelease(b *testing.B, sel Selection) {
+	b.Helper()
+	const total = 9216
+	r := rand.New(rand.NewSource(3))
+	c, err := NewWithSelection(total, sel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var live []Alloc
+	now := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		if c.FreeCount() > total/4 {
+			n := 1 + r.Intn(256)
+			if n > c.FreeCount() {
+				n = c.FreeCount()
+			}
+			a, err := c.Allocate(n, now)
+			if err != nil {
+				b.Fatal(err)
+			}
+			live = append(live, a)
+		} else {
+			i := r.Intn(len(live))
+			if err := c.Release(live[i], now); err != nil {
+				b.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+}
+
+func BenchmarkAllocateFirstFit(b *testing.B)   { benchAllocRelease(b, FirstFit) }
+func BenchmarkAllocateContiguous(b *testing.B) { benchAllocRelease(b, ContiguousBestFit) }
+func BenchmarkAllocateNextFit(b *testing.B)    { benchAllocRelease(b, NextFit) }

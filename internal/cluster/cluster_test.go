@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAllFree(t *testing.T) {
+	c := New(8)
+	if c.Total() != 8 || c.FreeCount() != 8 || c.Busy() != 0 {
+		t.Errorf("fresh cluster state: total=%d free=%d busy=%d", c.Total(), c.FreeCount(), c.Busy())
+	}
+}
+
+func TestNewPanicsOnInvalidSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestFirstFitLowestIDs(t *testing.T) {
+	c := New(8)
+	a, err := c.Allocate(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range a.IDs {
+		if id != i {
+			t.Errorf("first allocation IDs = %v, want [0 1 2]", a.IDs)
+			break
+		}
+	}
+	b, _ := c.Allocate(2, 0)
+	if b.IDs[0] != 3 || b.IDs[1] != 4 {
+		t.Errorf("second allocation IDs = %v, want [3 4]", b.IDs)
+	}
+	// Release the first block; next allocation must reuse the lowest IDs.
+	if err := c.Release(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := c.Allocate(2, 1)
+	if d.IDs[0] != 0 || d.IDs[1] != 1 {
+		t.Errorf("post-release allocation IDs = %v, want [0 1] (First Fit)", d.IDs)
+	}
+}
+
+func TestAllocateExhaustion(t *testing.T) {
+	c := New(4)
+	if _, err := c.Allocate(5, 0); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	c.Allocate(4, 0)
+	if _, err := c.Allocate(1, 0); err == nil {
+		t.Error("allocation from empty pool accepted")
+	}
+	if _, err := c.Allocate(0, 0); err == nil {
+		t.Error("zero-size allocation accepted")
+	}
+}
+
+func TestReleaseValidation(t *testing.T) {
+	c := New(4)
+	a, _ := c.Allocate(2, 0)
+	if err := c.Release(Alloc{IDs: []int{99}}, 1); err == nil {
+		t.Error("foreign processor release accepted")
+	}
+	if err := c.Release(a, 1); err != nil {
+		t.Errorf("valid release rejected: %v", err)
+	}
+	if c.FreeCount() != 4 {
+		t.Errorf("free after release = %d, want 4", c.FreeCount())
+	}
+}
+
+func TestTimeMonotonicity(t *testing.T) {
+	c := New(4)
+	c.Allocate(1, 10)
+	if _, err := c.Allocate(1, 5); err == nil {
+		t.Error("backwards allocation time accepted")
+	}
+	a, _ := c.Allocate(1, 10)
+	if err := c.Release(a, 5); err == nil {
+		t.Error("backwards release time accepted")
+	}
+}
+
+func TestBusyIntegral(t *testing.T) {
+	c := New(10)
+	a, _ := c.Allocate(4, 0)  // 4 busy from t=0
+	b, _ := c.Allocate(2, 10) // 6 busy from t=10
+	c.Release(a, 20)          // 2 busy from t=20
+	c.Release(b, 30)          // 0 busy from t=30
+	// Integral: 4*10 + 6*10 + 2*10 = 120 CPU-seconds.
+	if got := c.BusyCPUSeconds(30); math.Abs(got-120) > 1e-9 {
+		t.Errorf("BusyCPUSeconds(30) = %v, want 120", got)
+	}
+	// Still 120 later (nothing busy).
+	if got := c.BusyCPUSeconds(50); math.Abs(got-120) > 1e-9 {
+		t.Errorf("BusyCPUSeconds(50) = %v, want 120", got)
+	}
+}
+
+func TestBusyIntegralMidAllocation(t *testing.T) {
+	c := New(4)
+	c.Allocate(3, 0)
+	if got := c.BusyCPUSeconds(10); math.Abs(got-30) > 1e-9 {
+		t.Errorf("BusyCPUSeconds(10) = %v, want 30", got)
+	}
+}
+
+func TestIdleCPUSeconds(t *testing.T) {
+	c := New(10)
+	a, _ := c.Allocate(5, 0)
+	c.Release(a, 10)
+	// Window [0,20]: total 200 CPU-s, busy 50, idle 150.
+	if got := c.IdleCPUSeconds(0, 20); math.Abs(got-150) > 1e-9 {
+		t.Errorf("IdleCPUSeconds = %v, want 150", got)
+	}
+	if got := c.IdleCPUSeconds(20, 10); got != 0 {
+		t.Errorf("inverted window idle = %v, want 0", got)
+	}
+}
+
+// Property: random allocate/release sequences preserve the processor
+// count invariant free + busy == total and never hand out duplicate IDs.
+func TestQuickAllocReleaseInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := 1 + r.Intn(64)
+		c := New(total)
+		var live []Alloc
+		now := 0.0
+		for step := 0; step < 200; step++ {
+			now += r.Float64()
+			if r.Intn(2) == 0 && c.FreeCount() > 0 {
+				n := 1 + r.Intn(c.FreeCount())
+				a, err := c.Allocate(n, now)
+				if err != nil {
+					return false
+				}
+				live = append(live, a)
+			} else if len(live) > 0 {
+				i := r.Intn(len(live))
+				if err := c.Release(live[i], now); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if c.FreeCount()+c.Busy() != total {
+				return false
+			}
+			seen := make(map[int]bool)
+			for _, a := range live {
+				for _, id := range a.IDs {
+					if seen[id] || id < 0 || id >= total {
+						return false
+					}
+					seen[id] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the busy integral is non-negative and non-decreasing in time.
+func TestQuickBusyIntegralMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New(8)
+		now, prev := 0.0, 0.0
+		var live []Alloc
+		for step := 0; step < 100; step++ {
+			now += r.Float64() * 5
+			if r.Intn(2) == 0 && c.FreeCount() > 0 {
+				a, _ := c.Allocate(1+r.Intn(c.FreeCount()), now)
+				live = append(live, a)
+			} else if len(live) > 0 {
+				c.Release(live[len(live)-1], now)
+				live = live[:len(live)-1]
+			}
+			cur := c.BusyCPUSeconds(now)
+			if cur < prev-1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

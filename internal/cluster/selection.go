@@ -1,0 +1,136 @@
+package cluster
+
+import "fmt"
+
+// The paper's simulator (Alvio, §3.1) separates the job scheduling policy
+// from the resource selection policy, which "determines how job processes
+// are mapped to the processors" — First Fit in the paper's experiments.
+// Processor identity does not change scheduling times on a flat machine,
+// but it decides placement contiguity (relevant for interconnect locality
+// and for how well idle processors coalesce for power-down), so the
+// selection layer is reproduced with the common alternatives.
+
+// Selection identifies a resource selection policy.
+type Selection int
+
+const (
+	// FirstFit takes the lowest-numbered free processors (the paper's
+	// choice). This is the default and uses the fast heap path.
+	FirstFit Selection = iota
+	// ContiguousBestFit prefers the smallest contiguous run of free
+	// processors that fits the job, falling back to gathering runs from
+	// the lowest IDs when no single run fits.
+	ContiguousBestFit
+	// NextFit continues scanning from where the previous allocation
+	// ended, spreading load across the machine.
+	NextFit
+)
+
+// String names the selection policy.
+func (s Selection) String() string {
+	switch s {
+	case FirstFit:
+		return "firstfit"
+	case ContiguousBestFit:
+		return "contiguous"
+	case NextFit:
+		return "nextfit"
+	}
+	return fmt.Sprintf("selection(%d)", int(s))
+}
+
+// ParseSelection resolves a policy name.
+func ParseSelection(name string) (Selection, error) {
+	switch name {
+	case "firstfit", "ff", "":
+		return FirstFit, nil
+	case "contiguous", "bestfit", "cbf":
+		return ContiguousBestFit, nil
+	case "nextfit", "nf":
+		return NextFit, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown selection policy %q (firstfit, contiguous, nextfit)", name)
+}
+
+// Runs returns the number of maximal contiguous ID runs in the
+// allocation — 1 means fully contiguous placement. IDs must be ascending,
+// which Allocate guarantees.
+func (a Alloc) Runs() int {
+	if len(a.IDs) == 0 {
+		return 0
+	}
+	runs := 1
+	for i := 1; i < len(a.IDs); i++ {
+		if a.IDs[i] != a.IDs[i-1]+1 {
+			runs++
+		}
+	}
+	return runs
+}
+
+// selectContiguous picks n processors from the free bitmap preferring the
+// tightest contiguous fit.
+func (c *Cluster) selectContiguous(n int) []int {
+	bestStart, bestLen := -1, int(^uint(0)>>1)
+	runStart := -1
+	for i := 0; i <= c.total; i++ {
+		free := i < c.total && c.freeMap[i]
+		if free && runStart < 0 {
+			runStart = i
+		}
+		if !free && runStart >= 0 {
+			runLen := i - runStart
+			if runLen >= n && runLen < bestLen {
+				bestStart, bestLen = runStart, runLen
+			}
+			runStart = -1
+		}
+	}
+	if bestStart >= 0 {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = bestStart + i
+		}
+		return ids
+	}
+	// No single run fits: gather lowest free IDs (First Fit fallback).
+	return c.selectLowest(n)
+}
+
+// selectNextFit scans circularly from the cursor left by the previous
+// allocation.
+func (c *Cluster) selectNextFit(n int) []int {
+	ids := make([]int, 0, n)
+	for off := 0; off < c.total && len(ids) < n; off++ {
+		i := (c.cursor + off) % c.total
+		if c.freeMap[i] {
+			ids = append(ids, i)
+		}
+	}
+	if len(ids) > 0 {
+		c.cursor = (ids[len(ids)-1] + 1) % c.total
+	}
+	sortInts(ids)
+	return ids
+}
+
+// selectLowest gathers the n lowest free IDs from the bitmap.
+func (c *Cluster) selectLowest(n int) []int {
+	ids := make([]int, 0, n)
+	for i := 0; i < c.total && len(ids) < n; i++ {
+		if c.freeMap[i] {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// sortInts is insertion sort: allocations are small or nearly sorted, and
+// this avoids pulling package sort into the hot path.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

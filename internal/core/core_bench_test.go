@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dvfs"
+	"repro/internal/workload"
+)
+
+// BenchmarkReserveGear measures the per-decision cost of the frequency
+// loop in MakeJobReservation; it runs on every job start.
+func BenchmarkReserveGear(b *testing.B) {
+	gears := dvfs.PaperGearSet()
+	p, err := NewPolicy(Params{BSLDThreshold: 2, WQThreshold: NoWQLimit},
+		gears, dvfs.NewTimeModel(0.5, gears))
+	if err != nil {
+		b.Fatal(err)
+	}
+	j := &workload.Job{ID: 1, Submit: 0, Runtime: 3600, Procs: 16, ReqTime: 7200, Beta: -1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ReserveGear(j, float64(i%10000), float64(i%10000), i%8)
+	}
+}
+
+// BenchmarkBackfillGear measures the backfill decision including the
+// feasibility callback, the scheduler's inner-loop hot path.
+func BenchmarkBackfillGear(b *testing.B) {
+	gears := dvfs.PaperGearSet()
+	p, err := NewPolicy(Params{BSLDThreshold: 2, WQThreshold: NoWQLimit},
+		gears, dvfs.NewTimeModel(0.5, gears))
+	if err != nil {
+		b.Fatal(err)
+	}
+	j := &workload.Job{ID: 1, Submit: 0, Runtime: 3600, Procs: 16, ReqTime: 7200, Beta: -1}
+	feasible := func(g dvfs.Gear) bool { return g.Freq >= 1.4 }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.BackfillGear(j, float64(i%10000), i%8, feasible)
+	}
+}

@@ -1,0 +1,111 @@
+package dvfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperGearSetMatchesTable2(t *testing.T) {
+	gs := PaperGearSet()
+	want := []struct{ f, v float64 }{
+		{0.8, 1.0}, {1.1, 1.1}, {1.4, 1.2}, {1.7, 1.3}, {2.0, 1.4}, {2.3, 1.5},
+	}
+	if len(gs) != len(want) {
+		t.Fatalf("gear count = %d, want %d", len(gs), len(want))
+	}
+	for i, w := range want {
+		if gs[i].Freq != w.f || gs[i].Voltage != w.v {
+			t.Errorf("gear %d = %v, want %.1fGHz@%.1fV", i, gs[i], w.f, w.v)
+		}
+	}
+}
+
+func TestGearSetValidate(t *testing.T) {
+	if err := PaperGearSet().Validate(); err != nil {
+		t.Errorf("paper gear set invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		gs   GearSet
+	}{
+		{"empty", GearSet{}},
+		{"zero freq", GearSet{{0, 1}}},
+		{"zero volt", GearSet{{1, 0}}},
+		{"non-increasing freq", GearSet{{1, 1}, {1, 1.1}}},
+		{"decreasing voltage", GearSet{{1, 1.2}, {2, 1.1}}},
+	}
+	for _, c := range cases {
+		if err := c.gs.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestLowestTop(t *testing.T) {
+	gs := PaperGearSet()
+	if gs.Lowest().Freq != 0.8 {
+		t.Errorf("Lowest = %v", gs.Lowest())
+	}
+	if gs.Top().Freq != 2.3 {
+		t.Errorf("Top = %v", gs.Top())
+	}
+	if !gs.IsTop(Gear{2.3, 1.5}) {
+		t.Error("IsTop(2.3GHz) = false")
+	}
+	if gs.IsTop(Gear{0.8, 1.0}) {
+		t.Error("IsTop(0.8GHz) = true")
+	}
+}
+
+func TestIndex(t *testing.T) {
+	gs := PaperGearSet()
+	for i, g := range gs {
+		if gs.Index(g) != i {
+			t.Errorf("Index(%v) = %d, want %d", g, gs.Index(g), i)
+		}
+	}
+	if gs.Index(Gear{9.9, 9.9}) != -1 {
+		t.Error("Index of absent gear != -1")
+	}
+}
+
+func TestAtOrAbove(t *testing.T) {
+	gs := PaperGearSet()
+	sub := gs.AtOrAbove(1.4)
+	if len(sub) != 4 || sub[0].Freq != 1.4 {
+		t.Errorf("AtOrAbove(1.4) = %v", sub)
+	}
+	if len(gs.AtOrAbove(0)) != len(gs) {
+		t.Error("AtOrAbove(0) should return all gears")
+	}
+	if len(gs.AtOrAbove(9)) != 0 {
+		t.Error("AtOrAbove(9) should be empty")
+	}
+}
+
+func TestGearString(t *testing.T) {
+	if s := (Gear{2.3, 1.5}).String(); s != "2.3GHz@1.5V" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: AtOrAbove never returns a gear below the cutoff and preserves order.
+func TestQuickAtOrAbove(t *testing.T) {
+	gs := PaperGearSet()
+	f := func(raw uint16) bool {
+		cut := float64(raw%300) / 100 // 0.00 .. 2.99
+		sub := gs.AtOrAbove(cut)
+		for i, g := range sub {
+			if g.Freq < cut {
+				return false
+			}
+			if i > 0 && sub[i-1].Freq >= g.Freq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var (
+	sharedOnce  sync.Once
+	sharedSuite *Suite
+)
+
+// testSuite returns one shared suite simulating shortened traces; cells
+// are cached across all tests in the package, so the grid runs once.
+func testSuite() *Suite {
+	sharedOnce.Do(func() { sharedSuite = NewSuite(700) })
+	return sharedSuite
+}
+
+func TestSuiteCellCaching(t *testing.T) {
+	s := testSuite()
+	cfg := Config{Workload: "CTC", BSLDThr: 2, WQThr: 4}
+	a, err := s.Cell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Cell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cell not cached")
+	}
+	// SizeFactor 0 normalizes to 1.
+	c, err := s.Cell(Config{Workload: "CTC", BSLDThr: 2, WQThr: 4, SizeFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Error("SizeFactor 0 and 1 should share a cell")
+	}
+}
+
+func TestSuiteUnknownWorkload(t *testing.T) {
+	if _, err := testSuite().Cell(Config{Workload: "nope"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestPrefetchParallelMatchesSerial(t *testing.T) {
+	cfgs := []Config{
+		{Workload: "CTC"},
+		{Workload: "CTC", BSLDThr: 2, WQThr: 0},
+		{Workload: "CTC", BSLDThr: 2, WQThr: core.NoWQLimit},
+		{Workload: "SDSC"},
+		{Workload: "SDSC", BSLDThr: 2, WQThr: 0},
+	}
+	par := testSuite()
+	if err := par.Prefetch(cfgs, 4); err != nil {
+		t.Fatal(err)
+	}
+	ser := testSuite()
+	if err := ser.Prefetch(cfgs, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		a, _ := par.Cell(cfg)
+		b, _ := ser.Cell(cfg)
+		if a.Results != b.Results {
+			t.Errorf("parallel and serial results differ for %+v", cfg)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := testSuite()
+	tb, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "CTC" || tb.Rows[4][0] != "LLNLAtlas" {
+		t.Error("workload order wrong")
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "4.66") || !strings.Contains(out, "24.91") {
+		t.Error("paper reference values missing from Table 1")
+	}
+}
+
+func TestTable2Values(t *testing.T) {
+	tb := Table2()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("gear rows = %d, want 6", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "0.8" || tb.Rows[5][0] != "2.3" {
+		t.Error("gear frequencies wrong")
+	}
+	if !strings.Contains(tb.Note, "21") {
+		t.Errorf("idle-fraction note missing: %q", tb.Note)
+	}
+}
+
+func TestFig3EnergyNeverAboveOneForIdleZero(t *testing.T) {
+	s := testSuite()
+	tb, err := Fig3(s, EnergyIdleZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 15 { // 5 workloads × 3 thresholds
+		t.Fatalf("rows = %d, want 15", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[2:] {
+			v := parsePct(t, cell)
+			if v > 100.0001 {
+				t.Errorf("computational energy above baseline: %s in row %v", cell, row)
+			}
+			if v <= 0 {
+				t.Errorf("non-positive energy: %s", cell)
+			}
+		}
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscanf(s, "%f%%", &v); err != nil {
+		t.Fatalf("bad percentage %q: %v", s, err)
+	}
+	return v
+}
+
+func sscanf(s string, v *float64) (int, error) { return fmt.Sscanf(s, "%f", v) }
+func sscanInt(s string, v *int) (int, error)   { return fmt.Sscanf(s, "%d", v) }
+
+func TestFig4CountsWithinJobRange(t *testing.T) {
+	s := testSuite()
+	tb, err := Fig4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[2:] {
+			var n int
+			if _, err := sscanInt(cell, &n); err != nil {
+				t.Fatalf("bad count %q", cell)
+			}
+			if n < 0 || n > s.Jobs() {
+				t.Errorf("reduced jobs %d out of [0,%d]", n, s.Jobs())
+			}
+		}
+	}
+}
+
+func TestFig5BSLDAtLeastOne(t *testing.T) {
+	s := testSuite()
+	tb, err := Fig5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[2:] {
+			var v float64
+			if _, err := sscanf(cell, &v); err != nil {
+				t.Fatalf("bad BSLD %q", cell)
+			}
+			if v < 1 {
+				t.Errorf("BSLD %v < 1", v)
+			}
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	s := testSuite()
+	chart, tb, err := Fig6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart, "DVFS_2_16") {
+		t.Error("chart legend missing")
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("summary rows = %d", len(tb.Rows))
+	}
+}
+
+func TestFig7CompEnergyMonotoneInSize(t *testing.T) {
+	s := testSuite()
+	tb, err := Fig7(s, EnergyIdleZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		prev := 1e18
+		for _, cell := range row[1:] {
+			v := parsePct(t, cell)
+			// Allow small non-monotonic wiggle from discreteness.
+			if v > prev*1.05 {
+				t.Errorf("%s: computational energy rose with system size: %v after %v", row[0], v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	s := testSuite()
+	tb, err := Fig9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 10 { // 5 workloads × 2 WQ modes
+		t.Fatalf("rows = %d, want 10", len(tb.Rows))
+	}
+}
+
+func TestTable3HasPaperColumns(t *testing.T) {
+	s := testSuite()
+	tb, err := Table3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Header) != 11 {
+		t.Fatalf("header = %v", tb.Header)
+	}
+	// SDSC paper wait 36001 must appear.
+	found := false
+	for _, row := range tb.Rows {
+		for _, c := range row {
+			if c == "36001" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("paper Table 3 values missing")
+	}
+}
+
+func TestRunAllWritesCSVs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid in short mode")
+	}
+	s := NewSuite(300)
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := RunAll(s, &buf, dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9", "Table 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 14 { // 13 artifact tables + fig6_series
+		var names []string
+		for _, f := range files {
+			names = append(names, f.Name())
+		}
+		t.Errorf("csv files = %d (%v), want 14", len(files), names)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "Workload,") {
+		t.Errorf("table1.csv header = %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestWriteSVGs(t *testing.T) {
+	s := testSuite()
+	dir := t.TempDir()
+	if err := WriteSVGs(s, dir); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 11 {
+		var names []string
+		for _, f := range files {
+			names = append(names, f.Name())
+		}
+		t.Errorf("svg files = %d (%v), want 11", len(files), names)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig6.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("fig6.svg is not an SVG document")
+	}
+}

@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/altpolicy"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/nodepower"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+	"repro/internal/wgen"
+	"repro/internal/workload"
+)
+
+// Extension experiments beyond the paper's evaluation: the dynamic boost
+// the paper names as future work (§7), the per-job β analysis it plans
+// (§7), and a node power-down baseline from its related work (§6). They
+// run outside the Suite's cached grid because they vary knobs the grid
+// does not expose.
+
+// extTrace generates the workload at the suite's segment length.
+func extTrace(s *Suite, name string) (runner.Spec, error) {
+	tr, err := s.trace(name)
+	if err != nil {
+		return runner.Spec{}, err
+	}
+	return runner.Spec{Trace: tr}, nil
+}
+
+func extPolicy(params core.Params) (sched.GearPolicy, error) {
+	gears := dvfs.PaperGearSet()
+	return core.NewPolicy(params, gears, dvfs.NewTimeModel(runner.DefaultBeta, gears))
+}
+
+// ExtBoost compares the paper's future-work extension — dynamically
+// raising running reduced jobs to Ftop when the queue exceeds a bound —
+// against the static assignment, at (BSLDthr=2, WQ=NO).
+func ExtBoost(s *Suite) (textplot.Table, error) {
+	t := textplot.Table{
+		Title: "Extension: dynamic frequency boost (paper §7 future work), BSLDthr=2, WQ=NO, boost above 16 waiting",
+		Header: []string{"Workload", "energy off", "energy on", "wait off(s)", "wait on(s)",
+			"BSLD off", "BSLD on"},
+		Note: "energy = computational, normalized to no-DVFS; boost trades some savings for shorter queues",
+	}
+	for _, w := range Workloads() {
+		spec, err := extTrace(s, w)
+		if err != nil {
+			return t, err
+		}
+		base, err := runner.Run(spec)
+		if err != nil {
+			return t, err
+		}
+		row := []string{w}
+		var energies, waits, bslds []string
+		for _, boost := range []bool{false, true} {
+			pol, err := extPolicy(core.Params{
+				BSLDThreshold: 2, WQThreshold: core.NoWQLimit,
+				Boost: boost, BoostWQ: 16,
+			})
+			if err != nil {
+				return t, err
+			}
+			run := spec
+			run.Policy = pol
+			out, err := runner.Run(run)
+			if err != nil {
+				return t, err
+			}
+			energies = append(energies, pct(out.Results.CompEnergy/base.Results.CompEnergy))
+			waits = append(waits, sec0(out.Results.AvgWait))
+			bslds = append(bslds, f2(out.Results.AvgBSLD))
+		}
+		row = append(row, energies[0], energies[1], waits[0], waits[1], bslds[0], bslds[1])
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// ExtPerJobBeta contrasts the paper's uniform β=0.5 with heterogeneous
+// per-job β drawn from U[0.2, 0.8] (same mean), the analysis §7 proposes
+// to enable modeling of per-job DVFS potential.
+func ExtPerJobBeta(s *Suite) (textplot.Table, error) {
+	t := textplot.Table{
+		Title:  "Extension: per-job β (paper §7 future work), BSLDthr=2, WQ=NO",
+		Header: []string{"Workload", "energy β=0.5", "energy β~U[0.2,0.8]", "BSLD β=0.5", "BSLD β~U"},
+		Note:   "per-job β keeps the mean dilation but lets the policy favour jobs with low penalty",
+	}
+	for _, w := range Workloads() {
+		model, err := wgen.Preset(w)
+		if err != nil {
+			return t, err
+		}
+		model.Jobs = s.jobs
+		uniform, err := wgen.Generate(model)
+		if err != nil {
+			return t, err
+		}
+		model.BetaMin, model.BetaMax = 0.2, 0.8
+		perJob, err := wgen.Generate(model)
+		if err != nil {
+			return t, err
+		}
+		pol, err := extPolicy(core.Params{BSLDThreshold: 2, WQThreshold: core.NoWQLimit})
+		if err != nil {
+			return t, err
+		}
+		// Run both traces through identical baseline/policy pairs.
+		var energies, bslds []string
+		for _, trace := range []*workload.Trace{uniform, perJob} {
+			base, err := runner.Run(runner.Spec{Trace: trace})
+			if err != nil {
+				return t, err
+			}
+			out, err := runner.Run(runner.Spec{Trace: trace, Policy: pol})
+			if err != nil {
+				return t, err
+			}
+			energies = append(energies, pct(out.Results.CompEnergy/base.Results.CompEnergy))
+			bslds = append(bslds, f2(out.Results.AvgBSLD))
+		}
+		t.AddRow(w, energies[0], energies[1], bslds[0], bslds[1])
+	}
+	return t, nil
+}
+
+// ExtPolicyComparison pits the paper's BSLD-guarded assignment against
+// the utilization-driven trigger of the related work (Fan et al., §6):
+// comparable savings, but without the per-job prediction nothing bounds
+// the slowdown of a reduced job.
+func ExtPolicyComparison(s *Suite) (textplot.Table, error) {
+	t := textplot.Table{
+		Title: "Extension: BSLD-threshold vs utilization-driven DVFS (related work §6)",
+		Header: []string{"Workload", "energy bsld(2,NO)", "energy util(.3,.9)",
+			"BSLD bsld(2,NO)", "BSLD util(.3,.9)", "BSLD base"},
+		Note: "utilization-driven reduces on an idle machine regardless of the job's slowdown outlook",
+	}
+	gears := dvfs.PaperGearSet()
+	for _, w := range Workloads() {
+		spec, err := extTrace(s, w)
+		if err != nil {
+			return t, err
+		}
+		base, err := runner.Run(spec)
+		if err != nil {
+			return t, err
+		}
+		bsldPol, err := extPolicy(core.Params{BSLDThreshold: 2, WQThreshold: core.NoWQLimit})
+		if err != nil {
+			return t, err
+		}
+		utilPol, err := altpolicy.NewUtilizationDriven(gears, 0.3, 0.9)
+		if err != nil {
+			return t, err
+		}
+		var energies, bslds []string
+		for _, pol := range []sched.GearPolicy{bsldPol, utilPol} {
+			run := spec
+			run.Policy = pol
+			out, err := runner.Run(run)
+			if err != nil {
+				return t, err
+			}
+			energies = append(energies, pct(out.Results.CompEnergy/base.Results.CompEnergy))
+			bslds = append(bslds, f2(out.Results.AvgBSLD))
+		}
+		t.AddRow(w, energies[0], energies[1], bslds[0], bslds[1], f2(base.Results.AvgBSLD))
+	}
+	return t, nil
+}
+
+// ExtEstimateQuality varies the accuracy of user runtime estimates. The
+// requested time enters both EASY's planning and the BSLD predictor of
+// eq. (2), so estimate pathologies — the best-documented quirk of PWA
+// traces — shift what the policy dares to reduce.
+func ExtEstimateQuality(s *Suite, workloadName string) (textplot.Table, error) {
+	t := textplot.Table{
+		Title:  fmt.Sprintf("Extension: user estimate quality (%s, BSLDthr=2, WQ=NO)", workloadName),
+		Header: []string{"estimates", "energy(idle=0)", "avgBSLD policy", "avgBSLD base", "reduced"},
+		Note:   "perfect = requests equal runtimes; default = calibrated PWA-like overestimation; sloppy = 3× heavier tail",
+	}
+	model, err := wgen.Preset(workloadName)
+	if err != nil {
+		return t, err
+	}
+	model.Jobs = s.jobs
+	pol, err := extPolicy(core.Params{BSLDThreshold: 2, WQThreshold: core.NoWQLimit})
+	if err != nil {
+		return t, err
+	}
+	variants := []struct {
+		name   string
+		mutate func(*wgen.Model)
+	}{
+		{"perfect", func(m *wgen.Model) { m.AccurateFrac = 1 }},
+		{"default", func(m *wgen.Model) {}},
+		{"sloppy", func(m *wgen.Model) { m.OverestMean *= 3 }},
+	}
+	for _, v := range variants {
+		m := model
+		v.mutate(&m)
+		tr, err := wgen.Generate(m)
+		if err != nil {
+			return t, err
+		}
+		base, err := runner.Run(runner.Spec{Trace: tr})
+		if err != nil {
+			return t, err
+		}
+		out, err := runner.Run(runner.Spec{Trace: tr, Policy: pol})
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(v.name,
+			pct(out.Results.CompEnergy/base.Results.CompEnergy),
+			f2(out.Results.AvgBSLD), f2(base.Results.AvgBSLD),
+			fmt.Sprint(out.Results.ReducedJobs))
+	}
+	return t, nil
+}
+
+// ExtLoadSweep measures how the policy's savings respond to offered load
+// by rescaling one workload's arrival process — the generalization of the
+// paper's SDSC observation that a saturated system cannot save energy.
+func ExtLoadSweep(s *Suite, workloadName string) (textplot.Table, error) {
+	t := textplot.Table{
+		Title:  fmt.Sprintf("Extension: savings vs offered load (%s, BSLDthr=2, WQ=NO)", workloadName),
+		Header: []string{"load ×", "utilization", "energy(idle=0)", "avgBSLD policy", "avgBSLD base"},
+		Note:   "each row rescales interarrival gaps; energy normalized to the no-DVFS run at the SAME load",
+	}
+	tr, err := s.trace(workloadName)
+	if err != nil {
+		return t, err
+	}
+	pol, err := extPolicy(core.Params{BSLDThreshold: 2, WQThreshold: core.NoWQLimit})
+	if err != nil {
+		return t, err
+	}
+	for _, factor := range []float64{0.6, 0.8, 1.0, 1.2, 1.4} {
+		scaled := workload.ScaleLoad(tr, factor)
+		base, err := runner.Run(runner.Spec{Trace: scaled})
+		if err != nil {
+			return t, err
+		}
+		out, err := runner.Run(runner.Spec{Trace: scaled, Policy: pol})
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(fmt.Sprintf("%.1f", factor),
+			f2(base.Results.Utilization),
+			pct(out.Results.CompEnergy/base.Results.CompEnergy),
+			f2(out.Results.AvgBSLD),
+			f2(base.Results.AvgBSLD))
+	}
+	return t, nil
+}
+
+// ExtSeedSensitivity replicates the headline measurement across RNG seeds
+// of the synthetic generators, quantifying how much of each number is
+// trace-sampling noise: the reproduction's claims should be (and are)
+// stable far beyond the seed-to-seed spread.
+func ExtSeedSensitivity(s *Suite, replicas int) (textplot.Table, error) {
+	if replicas < 2 {
+		replicas = 5
+	}
+	t := textplot.Table{
+		Title: fmt.Sprintf("Extension: seed sensitivity (%d trace replicas per workload, BSLDthr=2, WQ=NO)", replicas),
+		Header: []string{"Workload", "base BSLD mean±sd", "savings% mean±sd",
+			"BSLD penalty mean±sd"},
+		Note: "each replica regenerates the synthetic trace with a different seed; ± is one standard deviation",
+	}
+	pol, err := extPolicy(core.Params{BSLDThreshold: 2, WQThreshold: core.NoWQLimit})
+	if err != nil {
+		return t, err
+	}
+	for _, w := range Workloads() {
+		model, err := wgen.Preset(w)
+		if err != nil {
+			return t, err
+		}
+		model.Jobs = s.jobs
+		var baseB, savings, penalty stats.Summary
+		for r := 0; r < replicas; r++ {
+			m := model
+			m.Seed = model.Seed + int64(r)*7919 // deterministic distinct seeds
+			tr, err := wgen.Generate(m)
+			if err != nil {
+				return t, err
+			}
+			base, err := runner.Run(runner.Spec{Trace: tr})
+			if err != nil {
+				return t, err
+			}
+			out, err := runner.Run(runner.Spec{Trace: tr, Policy: pol})
+			if err != nil {
+				return t, err
+			}
+			baseB.Add(base.Results.AvgBSLD)
+			savings.Add(100 * (1 - out.Results.CompEnergy/base.Results.CompEnergy))
+			penalty.Add(out.Results.AvgBSLD - base.Results.AvgBSLD)
+		}
+		ms := func(sm stats.Summary) string {
+			return fmt.Sprintf("%.2f±%.2f", sm.Mean(), sm.StdDev())
+		}
+		t.AddRow(w, ms(baseB), ms(savings), ms(penalty))
+	}
+	return t, nil
+}
+
+// ExtPowerDown evaluates the related-work alternative (§6): power down
+// idle nodes instead of scaling frequency, and the combination of both.
+// Energies are total (Eidle=low accounting), normalized to the no-DVFS,
+// always-on baseline.
+func ExtPowerDown(s *Suite) (textplot.Table, error) {
+	t := textplot.Table{
+		Title:  "Extension: idle-node power-down baseline (related work §6), total energy normalized to no-DVFS always-on",
+		Header: []string{"Workload", "DVFS(2,NO)", "power-down", "DVFS+power-down"},
+		Note: fmt.Sprintf("power-down: %.0f s idle timeout, %.0f s wake energy, perfect off (optimistic bound)",
+			nodepower.DefaultPolicy().IdleOffDelay, nodepower.DefaultPolicy().WakeEnergySeconds),
+	}
+	pm := dvfs.PaperPowerModel()
+	for _, w := range Workloads() {
+		spec, err := extTrace(s, w)
+		if err != nil {
+			return t, err
+		}
+		pol, err := extPolicy(core.Params{BSLDThreshold: 2, WQThreshold: core.NoWQLimit})
+		if err != nil {
+			return t, err
+		}
+		type variant struct {
+			policy sched.GearPolicy
+		}
+		totalWith := func(v variant) (float64, error) {
+			tracker := nodepower.NewTracker(spec.Trace.CPUs)
+			run := spec
+			run.Policy = v.policy
+			run.ExtraRecorders = []sched.Recorder{tracker}
+			out, err := runner.Run(run)
+			if err != nil {
+				return 0, err
+			}
+			rep, err := tracker.Evaluate(nodepower.DefaultPolicy(), pm, spec.Trace.Jobs[0].Submit)
+			if err != nil {
+				return 0, err
+			}
+			return out.Results.CompEnergy + rep.TotalIdleSideEnergy(), nil
+		}
+		base, err := runner.Run(spec)
+		if err != nil {
+			return t, err
+		}
+		denom := base.Results.TotalEnergyLow
+		dvfsOnly, err := runner.Run(runner.Spec{Trace: spec.Trace, Policy: pol})
+		if err != nil {
+			return t, err
+		}
+		pdOnly, err := totalWith(variant{policy: nil})
+		if err != nil {
+			return t, err
+		}
+		both, err := totalWith(variant{policy: pol})
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(w,
+			pct(dvfsOnly.Results.TotalEnergyLow/denom),
+			pct(pdOnly/denom),
+			pct(both/denom))
+	}
+	return t, nil
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtBoost(t *testing.T) {
+	s := NewSuite(400)
+	tb, err := ExtBoost(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		offE := parsePct(t, row[1])
+		onE := parsePct(t, row[2])
+		// Boost can only raise frequencies, so energy with boost is at
+		// least energy without (within numerical noise on tiny traces).
+		if onE < offE-1.0 {
+			t.Errorf("%s: boost energy %v unexpectedly below static %v", row[0], onE, offE)
+		}
+	}
+}
+
+func TestExtPerJobBeta(t *testing.T) {
+	s := NewSuite(400)
+	tb, err := ExtPerJobBeta(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:3] {
+			v := parsePct(t, cell)
+			if v <= 0 || v > 100.001 {
+				t.Errorf("energy %v out of (0,100]", v)
+			}
+		}
+	}
+}
+
+func TestExtPowerDown(t *testing.T) {
+	s := NewSuite(400)
+	tb, err := ExtPowerDown(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		pd := parsePct(t, row[2])
+		both := parsePct(t, row[3])
+		if pd >= 100 {
+			t.Errorf("%s: power-down saves nothing (%v%%)", row[0], pd)
+		}
+		// Combining DVFS with power-down must beat power-down alone:
+		// execution energy shrinks, idle handling is identical.
+		if both > pd+1.0 {
+			t.Errorf("%s: combined %v%% worse than power-down alone %v%%", row[0], both, pd)
+		}
+	}
+}
+
+func TestRunExtensionsRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extensions in short mode")
+	}
+	s := NewSuite(300)
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	if err := RunExtensions(s, &buf, dir); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dynamic frequency boost", "per-job β", "power-down"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestExtLoadSweep(t *testing.T) {
+	s := NewSuite(400)
+	tb, err := ExtLoadSweep(s, "SDSCBlue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Savings shrink (energy ratio grows) as load rises, end to end.
+	first := parsePct(t, tb.Rows[0][2])
+	last := parsePct(t, tb.Rows[len(tb.Rows)-1][2])
+	if last < first {
+		t.Errorf("energy ratio fell with load: %v -> %v", first, last)
+	}
+}
+
+func TestExtEstimateQuality(t *testing.T) {
+	s := NewSuite(400)
+	tb, err := ExtEstimateQuality(s, "CTC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		v := parsePct(t, row[1])
+		if v <= 0 || v > 100.001 {
+			t.Errorf("%s: energy %v out of range", row[0], v)
+		}
+	}
+}
+
+func TestExtLoadSweepUnknownWorkload(t *testing.T) {
+	s := NewSuite(100)
+	if _, err := ExtLoadSweep(s, "nosuch"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := ExtEstimateQuality(s, "nosuch"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestExtPolicyComparison(t *testing.T) {
+	s := NewSuite(400)
+	tb, err := ExtPolicyComparison(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:3] {
+			v := parsePct(t, cell)
+			if v <= 0 || v > 105 {
+				t.Errorf("%s: energy %v out of range", row[0], v)
+			}
+		}
+	}
+}
+
+func TestExtSeedSensitivity(t *testing.T) {
+	s := NewSuite(300)
+	tb, err := ExtSeedSensitivity(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:] {
+			if !strings.Contains(cell, "±") {
+				t.Errorf("cell %q missing ±", cell)
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/textplot"
+)
+
+// artifact is one rendered table destined for the terminal and a CSV file.
+type artifact struct {
+	name  string
+	table textplot.Table
+}
+
+// writeCSVs persists the artifacts into csvDir (created if needed).
+func writeCSVs(artifacts []artifact, csvDir string) error {
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	for _, a := range artifacts {
+		path := filepath.Join(csvDir, a.name+".csv")
+		if err := os.WriteFile(path, []byte(a.table.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAll executes the complete reproduction — every table and figure of
+// the paper — writing rendered text to w and, when csvDir is non-empty,
+// one CSV file per artifact into that directory. workers bounds the
+// parallelism of the simulation grid (<=0 selects GOMAXPROCS).
+func RunAll(s *Suite, w io.Writer, csvDir string, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if err := s.Prefetch(GridConfigs(), workers); err != nil {
+		return err
+	}
+
+	var artifacts []artifact
+	add := func(name string, t textplot.Table, err error) error {
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		artifacts = append(artifacts, artifact{name, t})
+		return nil
+	}
+
+	t1, err := Table1(s)
+	if err := add("table1", t1, err); err != nil {
+		return err
+	}
+	if err := add("table2", Table2(), nil); err != nil {
+		return err
+	}
+	f3a, err := Fig3(s, EnergyIdleZero)
+	if err := add("fig3_idle0", f3a, err); err != nil {
+		return err
+	}
+	f3b, err := Fig3(s, EnergyIdleLow)
+	if err := add("fig3_idlelow", f3b, err); err != nil {
+		return err
+	}
+	f4, err := Fig4(s)
+	if err := add("fig4", f4, err); err != nil {
+		return err
+	}
+	f5, err := Fig5(s)
+	if err := add("fig5", f5, err); err != nil {
+		return err
+	}
+	chart, f6, err := Fig6(s)
+	if err := add("fig6", f6, err); err != nil {
+		return err
+	}
+	f7a, err := Fig7(s, EnergyIdleZero)
+	if err := add("fig7_idle0", f7a, err); err != nil {
+		return err
+	}
+	f7b, err := Fig7(s, EnergyIdleLow)
+	if err := add("fig7_idlelow", f7b, err); err != nil {
+		return err
+	}
+	f8a, err := Fig8(s, EnergyIdleZero)
+	if err := add("fig8_idle0", f8a, err); err != nil {
+		return err
+	}
+	f8b, err := Fig8(s, EnergyIdleLow)
+	if err := add("fig8_idlelow", f8b, err); err != nil {
+		return err
+	}
+	f9, err := Fig9(s)
+	if err := add("fig9", f9, err); err != nil {
+		return err
+	}
+	t3, err := Table3(s)
+	if err := add("table3", t3, err); err != nil {
+		return err
+	}
+
+	for _, a := range artifacts {
+		if _, err := fmt.Fprintf(w, "%s\n", a.table.Render()); err != nil {
+			return err
+		}
+		if a.name == "fig6" {
+			if _, err := fmt.Fprintf(w, "%s\n", chart); err != nil {
+				return err
+			}
+		}
+	}
+
+	if csvDir != "" {
+		if err := writeCSVs(artifacts, csvDir); err != nil {
+			return err
+		}
+		// The full Figure 6 series as CSV (the table only summarizes it).
+		origCells, dvfsCells, err := Fig6Series(s)
+		if err != nil {
+			return err
+		}
+		series := textplot.Table{Header: []string{"submit_s", "wait_orig_s", "wait_dvfs_2_16_s"}}
+		orig, dvfsRun := origCells[0].WaitSeries, dvfsCells[0].WaitSeries
+		for i := range orig {
+			row := []string{fmt.Sprintf("%.0f", orig[i].Submit), fmt.Sprintf("%.0f", orig[i].Wait), ""}
+			if i < len(dvfsRun) {
+				row[2] = fmt.Sprintf("%.0f", dvfsRun[i].Wait)
+			}
+			series.AddRow(row...)
+		}
+		path := filepath.Join(csvDir, "fig6_series.csv")
+		if err := os.WriteFile(path, []byte(series.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunExtensions executes the beyond-the-paper experiments (dynamic boost,
+// per-job β, node power-down) and renders them like RunAll.
+func RunExtensions(s *Suite, w io.Writer, csvDir string) error {
+	var artifacts []artifact
+	boost, err := ExtBoost(s)
+	if err != nil {
+		return fmt.Errorf("experiments: ext-boost: %w", err)
+	}
+	artifacts = append(artifacts, artifact{"ext_boost", boost})
+	beta, err := ExtPerJobBeta(s)
+	if err != nil {
+		return fmt.Errorf("experiments: ext-beta: %w", err)
+	}
+	artifacts = append(artifacts, artifact{"ext_perjob_beta", beta})
+	pd, err := ExtPowerDown(s)
+	if err != nil {
+		return fmt.Errorf("experiments: ext-powerdown: %w", err)
+	}
+	artifacts = append(artifacts, artifact{"ext_powerdown", pd})
+	sweep, err := ExtLoadSweep(s, "SDSCBlue")
+	if err != nil {
+		return fmt.Errorf("experiments: ext-loadsweep: %w", err)
+	}
+	artifacts = append(artifacts, artifact{"ext_loadsweep", sweep})
+	est, err := ExtEstimateQuality(s, "CTC")
+	if err != nil {
+		return fmt.Errorf("experiments: ext-estimates: %w", err)
+	}
+	artifacts = append(artifacts, artifact{"ext_estimates", est})
+	polCmp, err := ExtPolicyComparison(s)
+	if err != nil {
+		return fmt.Errorf("experiments: ext-policycmp: %w", err)
+	}
+	artifacts = append(artifacts, artifact{"ext_policycmp", polCmp})
+	seeds, err := ExtSeedSensitivity(s, 5)
+	if err != nil {
+		return fmt.Errorf("experiments: ext-seeds: %w", err)
+	}
+	artifacts = append(artifacts, artifact{"ext_seeds", seeds})
+	for _, a := range artifacts {
+		if _, err := fmt.Fprintf(w, "%s\n", a.table.Render()); err != nil {
+			return err
+		}
+	}
+	if csvDir != "" {
+		return writeCSVs(artifacts, csvDir)
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+// Package experiments defines one reproducible experiment per table and
+// figure of the paper's evaluation (Tables 1–3, Figures 3–9), runs the
+// underlying simulation grid in parallel with caching, and renders the
+// same rows and series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/wgen"
+	"repro/internal/workload"
+)
+
+// Config identifies one simulation cell of the evaluation grid.
+type Config struct {
+	Workload string // preset name (CTC, SDSC, ...)
+	// BSLDThr is the BSLD threshold; 0 selects the no-DVFS baseline.
+	BSLDThr float64
+	// WQThr is the wait-queue threshold (core.NoWQLimit = "NO LIMIT");
+	// ignored for baselines.
+	WQThr int
+	// SizeFactor scales the machine (1.0 = original system size).
+	SizeFactor float64
+}
+
+// baseline reports whether the cell runs without DVFS.
+func (c Config) baseline() bool { return c.BSLDThr == 0 }
+
+// label is the column caption used in tables ("1.5/4", "2/NO", "noDVFS").
+func (c Config) label() string {
+	if c.baseline() {
+		return "noDVFS"
+	}
+	wq := fmt.Sprint(c.WQThr)
+	if c.WQThr == core.NoWQLimit {
+		wq = "NO"
+	}
+	return fmt.Sprintf("%g/%s", c.BSLDThr, wq)
+}
+
+// Cell is one simulated grid point.
+type Cell struct {
+	Config
+	Results metrics.Results
+	// WaitSeries supports the Figure 6 trace; retained for every cell.
+	WaitSeries []metrics.WaitPoint
+	CPUs       int
+}
+
+// Suite lazily runs and caches grid cells. It is safe for concurrent use.
+type Suite struct {
+	jobs int // trace length (paper: 5000); smaller for quick tests
+
+	mu     sync.Mutex
+	traces map[string]*workload.Trace
+	cells  map[Config]*Cell
+	gears  dvfs.GearSet
+	tm     dvfs.TimeModel
+}
+
+// NewSuite returns a suite simulating jobs-long trace segments; jobs <= 0
+// selects the paper's 5000.
+func NewSuite(jobs int) *Suite {
+	if jobs <= 0 {
+		jobs = wgen.StandardJobs
+	}
+	gears := dvfs.PaperGearSet()
+	return &Suite{
+		jobs:   jobs,
+		traces: make(map[string]*workload.Trace),
+		cells:  make(map[Config]*Cell),
+		gears:  gears,
+		tm:     dvfs.NewTimeModel(runner.DefaultBeta, gears),
+	}
+}
+
+// Jobs returns the configured trace segment length.
+func (s *Suite) Jobs() int { return s.jobs }
+
+// trace returns (generating once) the workload trace for a preset.
+func (s *Suite) trace(name string) (*workload.Trace, error) {
+	s.mu.Lock()
+	tr, ok := s.traces[name]
+	s.mu.Unlock()
+	if ok {
+		return tr, nil
+	}
+	model, err := wgen.Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	model.Jobs = s.jobs
+	tr, err = wgen.Generate(model)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.traces[name] = tr
+	s.mu.Unlock()
+	return tr, nil
+}
+
+// Cell runs (or returns the cached) simulation for cfg.
+func (s *Suite) Cell(cfg Config) (*Cell, error) {
+	if cfg.SizeFactor == 0 {
+		cfg.SizeFactor = 1
+	}
+	s.mu.Lock()
+	if c, ok := s.cells[cfg]; ok {
+		s.mu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+
+	tr, err := s.trace(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	spec := runner.Spec{Trace: tr, SizeFactor: cfg.SizeFactor, KeepCollector: true}
+	if !cfg.baseline() {
+		pol, err := core.NewPolicy(core.Params{
+			BSLDThreshold: cfg.BSLDThr,
+			WQThreshold:   cfg.WQThr,
+		}, s.gears, s.tm)
+		if err != nil {
+			return nil, err
+		}
+		spec.Policy = pol
+	}
+	out, err := runner.Run(spec)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cell %+v: %w", cfg, err)
+	}
+	cell := &Cell{
+		Config:     cfg,
+		Results:    out.Results,
+		WaitSeries: out.Collector.WaitSeries(),
+		CPUs:       out.CPUs,
+	}
+	s.mu.Lock()
+	// Another goroutine may have raced us; keep the first stored cell so
+	// callers always observe one canonical result (runs are deterministic
+	// anyway).
+	if prior, ok := s.cells[cfg]; ok {
+		cell = prior
+	} else {
+		s.cells[cfg] = cell
+	}
+	s.mu.Unlock()
+	return cell, nil
+}
+
+// Prefetch runs the given cells with `workers` goroutines, returning the
+// first error. It warms the cache so subsequent experiment builders are
+// pure formatting.
+func (s *Suite) Prefetch(cfgs []Config, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	// Deduplicate so each distinct simulation runs once.
+	seen := make(map[Config]bool)
+	var uniq []Config
+	for _, c := range cfgs {
+		if c.SizeFactor == 0 {
+			c.SizeFactor = 1
+		}
+		if !seen[c] {
+			seen[c] = true
+			uniq = append(uniq, c)
+		}
+	}
+	// Pre-generate traces serially: cheap, and avoids duplicate work.
+	names := make(map[string]bool)
+	for _, c := range uniq {
+		names[c.Workload] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		if _, err := s.trace(n); err != nil {
+			return err
+		}
+	}
+
+	work := make(chan Config)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cfg := range work {
+				if _, err := s.Cell(cfg); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for _, c := range uniq {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Workloads are the five paper traces in presentation order.
+func Workloads() []string {
+	return []string{"CTC", "SDSC", "SDSCBlue", "LLNLThunder", "LLNLAtlas"}
+}
+
+// BSLDThresholds are the paper's BSLDthreshold values.
+func BSLDThresholds() []float64 { return []float64{1.5, 2, 3} }
+
+// WQThresholds are the paper's WQthreshold values (0, 4, 16, NO LIMIT).
+func WQThresholds() []int { return []int{0, 4, 16, core.NoWQLimit} }
+
+// SizeFactors are the enlarged-system scales of Figures 7–9: the original
+// size plus 10%, 20%, 50%, 75%, 100% and 125% increases.
+func SizeFactors() []float64 { return []float64{1.0, 1.1, 1.2, 1.5, 1.75, 2.0, 2.25} }
+
+// GridConfigs enumerates every cell the full reproduction needs, so one
+// Prefetch call warms everything.
+func GridConfigs() []Config {
+	var cfgs []Config
+	for _, w := range Workloads() {
+		// Baselines (Table 1, normalization denominators).
+		cfgs = append(cfgs, Config{Workload: w, SizeFactor: 1})
+		// Figures 3–5 grid.
+		for _, thr := range BSLDThresholds() {
+			for _, wq := range WQThresholds() {
+				cfgs = append(cfgs, Config{Workload: w, BSLDThr: thr, WQThr: wq, SizeFactor: 1})
+			}
+		}
+		// Figures 7–9 and Table 3: enlarged systems at BSLDthreshold 2.
+		for _, sf := range SizeFactors() {
+			for _, wq := range []int{0, core.NoWQLimit} {
+				cfgs = append(cfgs, Config{Workload: w, BSLDThr: 2, WQThr: wq, SizeFactor: sf})
+			}
+		}
+	}
+	return cfgs
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/svgplot"
+)
+
+// NamedSVG is one rendered figure document.
+type NamedSVG struct {
+	Name string
+	Doc  string
+}
+
+// BuildSVGs renders every figure of the evaluation as SVG documents, in a
+// stable order. The suite's grid must already be warm.
+func BuildSVGs(s *Suite) ([]NamedSVG, error) {
+	order := []string{
+		"fig3_idle0.svg", "fig3_idlelow.svg", "fig4.svg", "fig5.svg", "fig6.svg",
+		"fig7_idle0.svg", "fig7_idlelow.svg", "fig8_idle0.svg", "fig8_idlelow.svg",
+		"fig9_wq0.svg", "fig9_wqno.svg",
+	}
+	builders := s.svgBuilders()
+	out := make([]NamedSVG, 0, len(order))
+	for _, name := range order {
+		doc, err := builders[name]()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: svg %s: %w", name, err)
+		}
+		out = append(out, NamedSVG{Name: name, Doc: doc})
+	}
+	return out, nil
+}
+
+// WriteSVGs renders every figure of the evaluation as an SVG document in
+// dir, complementing the text tables and CSV files. The suite's grid must
+// already be warm (RunAll prefetches it).
+func WriteSVGs(s *Suite, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	svgs, err := BuildSVGs(s)
+	if err != nil {
+		return err
+	}
+	for _, sv := range svgs {
+		if err := os.WriteFile(filepath.Join(dir, sv.Name), []byte(sv.Doc), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// svgBuilders maps figure file names to their builders.
+func (s *Suite) svgBuilders() map[string]func() (string, error) {
+	return map[string]func() (string, error){
+		"fig3_idle0.svg":   func() (string, error) { return s.svgGrid("Figure 3 (idle=0): normalized energy %", EnergyIdleZero) },
+		"fig3_idlelow.svg": func() (string, error) { return s.svgGrid("Figure 3 (idle=low): normalized energy %", EnergyIdleLow) },
+		"fig4.svg":         s.svgFig4,
+		"fig5.svg":         s.svgFig5,
+		"fig6.svg":         s.svgFig6,
+		"fig7_idle0.svg":   func() (string, error) { return s.svgEnlarged("Figure 7 (idle=0): WQ=0", 0, EnergyIdleZero) },
+		"fig7_idlelow.svg": func() (string, error) { return s.svgEnlarged("Figure 7 (idle=low): WQ=0", 0, EnergyIdleLow) },
+		"fig8_idle0.svg": func() (string, error) {
+			return s.svgEnlarged("Figure 8 (idle=0): WQ=NO", core.NoWQLimit, EnergyIdleZero)
+		},
+		"fig8_idlelow.svg": func() (string, error) {
+			return s.svgEnlarged("Figure 8 (idle=low): WQ=NO", core.NoWQLimit, EnergyIdleLow)
+		},
+		"fig9_wq0.svg":  func() (string, error) { return s.svgFig9("Figure 9: average BSLD, WQ=0", 0) },
+		"fig9_wqno.svg": func() (string, error) { return s.svgFig9("Figure 9: average BSLD, WQ=NO", core.NoWQLimit) },
+	}
+}
+
+// gridValues collects the Figures 3–5 grid as numeric data: one group per
+// (workload, threshold), one series per WQ limit.
+func (s *Suite) gridValues(value func(c, base *Cell) float64) (groups, series []string, data [][]float64, err error) {
+	series = []string{"WQ 0", "WQ 4", "WQ 16", "WQ NO"}
+	for _, w := range Workloads() {
+		base, err := s.baselineCell(w)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, thr := range BSLDThresholds() {
+			groups = append(groups, fmt.Sprintf("%s %g", w, thr))
+			row := make([]float64, 0, len(WQThresholds()))
+			for _, wq := range WQThresholds() {
+				c, err := s.Cell(Config{Workload: w, BSLDThr: thr, WQThr: wq, SizeFactor: 1})
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				row = append(row, value(c, base))
+			}
+			data = append(data, row)
+		}
+	}
+	return groups, series, data, nil
+}
+
+func (s *Suite) svgGrid(title string, mode EnergyMode) (string, error) {
+	groups, series, data, err := s.gridValues(func(c, base *Cell) float64 {
+		return 100 * mode.energy(c) / mode.energy(base)
+	})
+	if err != nil {
+		return "", err
+	}
+	return svgplot.BarChart(title, "energy (% of no-DVFS)", groups, series, data), nil
+}
+
+func (s *Suite) svgFig4() (string, error) {
+	groups, series, data, err := s.gridValues(func(c, _ *Cell) float64 {
+		return float64(c.Results.ReducedJobs)
+	})
+	if err != nil {
+		return "", err
+	}
+	return svgplot.BarChart("Figure 4: jobs run at reduced frequency", "jobs", groups, series, data), nil
+}
+
+func (s *Suite) svgFig5() (string, error) {
+	groups, series, data, err := s.gridValues(func(c, _ *Cell) float64 {
+		return c.Results.AvgBSLD
+	})
+	if err != nil {
+		return "", err
+	}
+	return svgplot.BarChart("Figure 5: average BSLD", "BSLD", groups, series, data), nil
+}
+
+func (s *Suite) svgFig6() (string, error) {
+	origCells, dvfsCells, err := Fig6Series(s)
+	if err != nil {
+		return "", err
+	}
+	sample := func(c *Cell) [][2]float64 {
+		pts := c.WaitSeries
+		step := len(pts)/400 + 1
+		out := make([][2]float64, 0, len(pts)/step+1)
+		for i := 0; i < len(pts); i += step {
+			out = append(out, [2]float64{pts[i].Submit, pts[i].Wait})
+		}
+		return out
+	}
+	return svgplot.LineChart("Figure 6: SDSCBlue per-job wait time", "submit time (s)", "wait (s)",
+		[]string{"Orig", "DVFS_2_16"},
+		[][][2]float64{sample(origCells[0]), sample(dvfsCells[0])}), nil
+}
+
+func (s *Suite) svgEnlarged(title string, wq int, mode EnergyMode) (string, error) {
+	var series [][][2]float64
+	for _, w := range Workloads() {
+		base, err := s.baselineCell(w)
+		if err != nil {
+			return "", err
+		}
+		var pts [][2]float64
+		for _, sf := range SizeFactors() {
+			c, err := s.Cell(Config{Workload: w, BSLDThr: 2, WQThr: wq, SizeFactor: sf})
+			if err != nil {
+				return "", err
+			}
+			pts = append(pts, [2]float64{(sf - 1) * 100, 100 * mode.energy(c) / mode.energy(base)})
+		}
+		series = append(series, pts)
+	}
+	return svgplot.LineChart(title, "system size increase (%)", "energy (% of orig no-DVFS)",
+		Workloads(), series), nil
+}
+
+func (s *Suite) svgFig9(title string, wq int) (string, error) {
+	var series [][][2]float64
+	for _, w := range Workloads() {
+		var pts [][2]float64
+		for _, sf := range SizeFactors() {
+			c, err := s.Cell(Config{Workload: w, BSLDThr: 2, WQThr: wq, SizeFactor: sf})
+			if err != nil {
+				return "", err
+			}
+			pts = append(pts, [2]float64{(sf - 1) * 100, c.Results.AvgBSLD})
+		}
+		series = append(series, pts)
+	}
+	return svgplot.LineChart(title, "system size increase (%)", "average BSLD",
+		Workloads(), series), nil
+}

@@ -1,0 +1,69 @@
+package metrics
+
+// Fairness analysis: backfilling variants trade mean performance against
+// the tail and against per-user equity (SJF's starvation risk is the
+// classic example), so the analysis tools report the standard fairness
+// figures alongside the means.
+
+// JainIndex computes Jain's fairness index of a sample:
+// (Σx)² / (n·Σx²) — 1.0 when all values are equal, →1/n when one value
+// dominates. Conventionally applied to per-job slowdowns.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// BSLDFairness returns Jain's index over per-job bounded slowdowns.
+func (c *Collector) BSLDFairness() float64 {
+	xs := make([]float64, len(c.records))
+	for i, r := range c.records {
+		xs[i] = r.BSLD
+	}
+	return JainIndex(xs)
+}
+
+// UserStats aggregates outcomes for one submitting user.
+type UserStats struct {
+	Jobs    int
+	AvgBSLD float64
+	AvgWait float64
+	MaxWait float64
+}
+
+// PerUser groups records by user ID (jobs with unknown user -1 are
+// aggregated under -1), supporting per-user equity analysis.
+func (c *Collector) PerUser() map[int]UserStats {
+	sums := map[int]*UserStats{}
+	for _, rec := range c.records {
+		u := rec.Job.User
+		s := sums[u]
+		if s == nil {
+			s = &UserStats{}
+			sums[u] = s
+		}
+		s.Jobs++
+		s.AvgBSLD += rec.BSLD
+		s.AvgWait += rec.Wait
+		if rec.Wait > s.MaxWait {
+			s.MaxWait = rec.Wait
+		}
+	}
+	out := make(map[int]UserStats, len(sums))
+	for u, s := range sums {
+		n := float64(s.Jobs)
+		s.AvgBSLD /= n
+		s.AvgWait /= n
+		out[u] = *s
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dvfs"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestJainIndexEqualValues(t *testing.T) {
+	if got := JainIndex([]float64{3, 3, 3, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal values index = %v, want 1", got)
+	}
+}
+
+func TestJainIndexDominated(t *testing.T) {
+	// One huge value among n: index → 1/n.
+	xs := []float64{1000, 0, 0, 0}
+	if got := JainIndex(xs); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("dominated index = %v, want 0.25", got)
+	}
+}
+
+func TestJainIndexEdges(t *testing.T) {
+	if JainIndex(nil) != 1 {
+		t.Error("empty sample index != 1")
+	}
+	if JainIndex([]float64{0, 0}) != 1 {
+		t.Error("all-zero sample index != 1")
+	}
+}
+
+// Property: Jain's index lies in [1/n, 1] for non-negative samples.
+func TestQuickJainBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		idx := JainIndex(xs)
+		n := float64(len(xs))
+		return idx >= 1/n-1e-9 && idx <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerUser(t *testing.T) {
+	pm := dvfs.PaperPowerModel()
+	c := NewCollector(pm, 600)
+	top := pm.Gears.Top()
+	add := func(user int, wait float64) {
+		j := &workload.Job{ID: user*100 + int(wait), Submit: 0, Runtime: 100,
+			Procs: 1, ReqTime: 100, Beta: -1, User: user}
+		rs, end := finishedState(j, wait, []sched.Phase{{Gear: top, Dur: 100}})
+		c.JobStarted(rs, wait)
+		c.JobFinished(rs, end)
+	}
+	add(1, 10)
+	add(1, 30)
+	add(2, 100)
+	add(-1, 5)
+	stats := c.PerUser()
+	if len(stats) != 3 {
+		t.Fatalf("user groups = %d, want 3", len(stats))
+	}
+	u1 := stats[1]
+	if u1.Jobs != 2 || u1.AvgWait != 20 || u1.MaxWait != 30 {
+		t.Errorf("user 1 = %+v", u1)
+	}
+	if stats[2].Jobs != 1 || stats[2].AvgWait != 100 {
+		t.Errorf("user 2 = %+v", stats[2])
+	}
+	if stats[-1].Jobs != 1 {
+		t.Errorf("unknown user = %+v", stats[-1])
+	}
+}
+
+func TestBSLDFairnessOnCollector(t *testing.T) {
+	pm := dvfs.PaperPowerModel()
+	c := NewCollector(pm, 600)
+	top := pm.Gears.Top()
+	// Two jobs with identical outcomes: perfectly fair.
+	for i := 1; i <= 2; i++ {
+		j := &workload.Job{ID: i, Submit: 0, Runtime: 1000, Procs: 1, ReqTime: 1000, Beta: -1}
+		rs, end := finishedState(j, 0, []sched.Phase{{Gear: top, Dur: 1000}})
+		c.JobStarted(rs, 0)
+		c.JobFinished(rs, end)
+	}
+	if got := c.BSLDFairness(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("fairness = %v, want 1", got)
+	}
+}

@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dvfs"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestBSLDFormula(t *testing.T) {
+	cases := []struct {
+		wait, pen, rt, th, want float64
+	}{
+		{0, 3600, 3600, 600, 1},             // no wait, no penalty
+		{3600, 3600, 3600, 600, 2},          // wait equal to runtime
+		{0, 6975, 3600, 600, 6975.0 / 3600}, // dilation penalty with original denominator
+		{0, 100, 100, 600, 1},               // short job clamp
+		{500, 100, 100, 600, 1},             // (500+100)/600 = 1
+		{501, 100, 100, 600, 601.0 / 600},
+		{0, 0, 0, 600, 1}, // degenerate
+	}
+	for _, c := range cases {
+		if got := BSLD(c.wait, c.pen, c.rt, c.th); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("BSLD(%v,%v,%v,%v) = %v, want %v", c.wait, c.pen, c.rt, c.th, got, c.want)
+		}
+	}
+}
+
+// Build a synthetic RunState the way the scheduler would.
+func finishedState(j *workload.Job, start float64, phases []sched.Phase) (*sched.RunState, float64) {
+	end := start
+	for _, p := range phases {
+		end += p.Dur
+	}
+	return &sched.RunState{
+		Job: j, Start: start, Gear: phases[len(phases)-1].Gear,
+		Phases: phases, Reduced: anyReduced(phases),
+	}, end
+}
+
+func anyReduced(phases []sched.Phase) bool {
+	top := dvfs.PaperGearSet().Top()
+	for _, p := range phases {
+		if p.Gear != top {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCollectorSingleJobEnergyAndBSLD(t *testing.T) {
+	pm := dvfs.PaperPowerModel()
+	c := NewCollector(pm, 600)
+	top := pm.Gears.Top()
+	j := &workload.Job{ID: 1, Submit: 0, Runtime: 3600, Procs: 4, ReqTime: 3600, Beta: -1}
+	rs, end := finishedState(j, 100, []sched.Phase{{Gear: top, Dur: 3600}})
+	c.JobStarted(rs, 100)
+	c.JobFinished(rs, end)
+
+	recs := c.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	rec := recs[0]
+	if rec.Wait != 100 || rec.PenalizedRuntime != 3600 {
+		t.Errorf("wait/pen = %v/%v", rec.Wait, rec.PenalizedRuntime)
+	}
+	wantE := 4 * pm.Active(top) * 3600
+	if math.Abs(rec.Energy-wantE) > 1e-9 {
+		t.Errorf("energy = %v, want %v", rec.Energy, wantE)
+	}
+	wantB := (100.0 + 3600.0) / 3600.0
+	if math.Abs(rec.BSLD-wantB) > 1e-12 {
+		t.Errorf("BSLD = %v, want %v", rec.BSLD, wantB)
+	}
+}
+
+func TestCollectorReducedJobUsesOriginalRuntimeDenominator(t *testing.T) {
+	pm := dvfs.PaperPowerModel()
+	c := NewCollector(pm, 600)
+	low := pm.Gears.Lowest()
+	// 3600 s of work dilated by 1.9375 at the lowest gear.
+	j := &workload.Job{ID: 1, Submit: 0, Runtime: 3600, Procs: 2, ReqTime: 3600, Beta: -1}
+	rs, end := finishedState(j, 0, []sched.Phase{{Gear: low, Dur: 3600 * 1.9375}})
+	c.JobStarted(rs, 0)
+	c.JobFinished(rs, end)
+	rec := c.Records()[0]
+	// Eq. (6): penalized runtime in the numerator, original in the
+	// denominator -> BSLD = 1.9375 even with zero wait.
+	if math.Abs(rec.BSLD-1.9375) > 1e-12 {
+		t.Errorf("BSLD = %v, want 1.9375", rec.BSLD)
+	}
+	if !rec.Reduced {
+		t.Error("record not marked reduced")
+	}
+}
+
+func TestCollectorMultiPhaseEnergy(t *testing.T) {
+	pm := dvfs.PaperPowerModel()
+	c := NewCollector(pm, 600)
+	low, top := pm.Gears.Lowest(), pm.Gears.Top()
+	j := &workload.Job{ID: 1, Submit: 0, Runtime: 1000, Procs: 3, ReqTime: 1000, Beta: -1}
+	rs, end := finishedState(j, 0, []sched.Phase{
+		{Gear: low, Dur: 968.75},
+		{Gear: top, Dur: 500},
+	})
+	c.JobStarted(rs, 0)
+	c.JobFinished(rs, end)
+	want := 3 * (pm.Active(low)*968.75 + pm.Active(top)*500)
+	if got := c.Records()[0].Energy; math.Abs(got-want) > 1e-9 {
+		t.Errorf("multi-phase energy = %v, want %v", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	pm := dvfs.PaperPowerModel()
+	c := NewCollector(pm, 600)
+	top := pm.Gears.Top()
+	low := pm.Gears.Lowest()
+	jobs := []struct {
+		j      *workload.Job
+		start  float64
+		phases []sched.Phase
+	}{
+		{&workload.Job{ID: 1, Submit: 0, Runtime: 1000, Procs: 2, ReqTime: 1000, Beta: -1}, 0,
+			[]sched.Phase{{Gear: top, Dur: 1000}}},
+		{&workload.Job{ID: 2, Submit: 100, Runtime: 1000, Procs: 2, ReqTime: 1000, Beta: -1}, 600,
+			[]sched.Phase{{Gear: low, Dur: 1937.5}}},
+	}
+	for _, x := range jobs {
+		rs, end := finishedState(x.j, x.start, x.phases)
+		c.JobStarted(rs, x.start)
+		c.JobFinished(rs, end)
+	}
+	res := c.Summarize(5000, 2*1000+2*1937.5, 4)
+	if res.Jobs != 2 {
+		t.Fatalf("Jobs = %d", res.Jobs)
+	}
+	if res.ReducedJobs != 1 {
+		t.Errorf("ReducedJobs = %d, want 1", res.ReducedJobs)
+	}
+	// Wait: job1 0, job2 500 -> avg 250, max 500.
+	if res.AvgWait != 250 || res.MaxWait != 500 {
+		t.Errorf("wait = avg %v max %v", res.AvgWait, res.MaxWait)
+	}
+	// BSLD: job1 = 1; job2 = (500+1937.5)/1000 = 2.4375.
+	if math.Abs(res.AvgBSLD-(1+2.4375)/2) > 1e-12 {
+		t.Errorf("AvgBSLD = %v", res.AvgBSLD)
+	}
+	wantComp := 2*pm.Active(top)*1000 + 2*pm.Active(low)*1937.5
+	if math.Abs(res.CompEnergy-wantComp) > 1e-9 {
+		t.Errorf("CompEnergy = %v, want %v", res.CompEnergy, wantComp)
+	}
+	wantIdle := 5000 * pm.Idle()
+	if math.Abs(res.IdleEnergy-wantIdle) > 1e-9 {
+		t.Errorf("IdleEnergy = %v, want %v", res.IdleEnergy, wantIdle)
+	}
+	if math.Abs(res.TotalEnergyLow-(wantComp+wantIdle)) > 1e-9 {
+		t.Errorf("TotalEnergyLow = %v", res.TotalEnergyLow)
+	}
+	// Window: first submit 0 to last end 600+1937.5.
+	if math.Abs(res.Window-2537.5) > 1e-9 {
+		t.Errorf("Window = %v, want 2537.5", res.Window)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	c := NewCollector(dvfs.PaperPowerModel(), 600)
+	res := c.Summarize(0, 0, 4)
+	if res.Jobs != 0 || res.AvgBSLD != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestWaitSeriesSorted(t *testing.T) {
+	pm := dvfs.PaperPowerModel()
+	c := NewCollector(pm, 600)
+	top := pm.Gears.Top()
+	// Finish jobs out of submit order.
+	for _, sub := range []float64{300, 100, 200} {
+		j := &workload.Job{ID: int(sub), Submit: sub, Runtime: 10, Procs: 1, ReqTime: 10, Beta: -1}
+		rs, end := finishedState(j, sub+5, []sched.Phase{{Gear: top, Dur: 10}})
+		c.JobStarted(rs, sub+5)
+		c.JobFinished(rs, end)
+	}
+	pts := c.WaitSeries()
+	if len(pts) != 3 {
+		t.Fatalf("series length = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Submit < pts[i-1].Submit {
+			t.Fatal("series not sorted by submit")
+		}
+	}
+	if pts[0].Wait != 5 {
+		t.Errorf("wait = %v, want 5", pts[0].Wait)
+	}
+}
+
+// Property: BSLD >= 1 and monotone in wait and penalized runtime.
+func TestQuickBSLDProperties(t *testing.T) {
+	f := func(w, p, extra uint16, rt uint16) bool {
+		wait, pen := float64(w), float64(p)
+		run := float64(rt)
+		a := BSLD(wait, pen, run, 600)
+		b := BSLD(wait+float64(extra), pen, run, 600)
+		c := BSLD(wait, pen+float64(extra), run, 600)
+		return a >= 1 && b >= a && c >= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import "sort"
+
+// JobAggregates are the per-job scheduling metrics over a subset of the
+// records. Unlike Results it carries no idle-energy terms: idle power is a
+// whole-run quantity and is not attributable to a job subset.
+type JobAggregates struct {
+	Jobs        int
+	AvgBSLD     float64
+	AvgWait     float64
+	MaxWait     float64
+	ReducedJobs int
+	CompEnergy  float64
+}
+
+// SummarizeJobs aggregates the records accepted by the filter (nil
+// accepts all).
+func (c *Collector) SummarizeJobs(filter func(*JobRecord) bool) JobAggregates {
+	var a JobAggregates
+	for _, rec := range c.records {
+		if filter != nil && !filter(rec) {
+			continue
+		}
+		a.Jobs++
+		a.AvgBSLD += rec.BSLD
+		a.AvgWait += rec.Wait
+		if rec.Wait > a.MaxWait {
+			a.MaxWait = rec.Wait
+		}
+		if rec.Reduced {
+			a.ReducedJobs++
+		}
+		a.CompEnergy += rec.Energy
+	}
+	if a.Jobs > 0 {
+		a.AvgBSLD /= float64(a.Jobs)
+		a.AvgWait /= float64(a.Jobs)
+	}
+	return a
+}
+
+// SteadyStateFilter returns a filter keeping jobs whose submit time lies
+// strictly inside the trimmed span: the first and last `frac` of the
+// submit-ordered jobs are discarded. This is the standard warmup/cooldown
+// trimming for steady-state analysis of an initially-empty and
+// finally-draining simulated system. frac must be in [0, 0.5).
+func (c *Collector) SteadyStateFilter(frac float64) func(*JobRecord) bool {
+	if frac <= 0 || frac >= 0.5 || len(c.records) == 0 {
+		return nil
+	}
+	submits := make([]float64, len(c.records))
+	for i, rec := range c.records {
+		submits[i] = rec.Job.Submit
+	}
+	sort.Float64s(submits)
+	lo := submits[int(frac*float64(len(submits)))]
+	hi := submits[len(submits)-1-int(frac*float64(len(submits)))]
+	return func(rec *JobRecord) bool {
+		return rec.Job.Submit >= lo && rec.Job.Submit <= hi
+	}
+}
+
+// SteadyState is shorthand for SummarizeJobs(SteadyStateFilter(frac)).
+func (c *Collector) SteadyState(frac float64) JobAggregates {
+	return c.SummarizeJobs(c.SteadyStateFilter(frac))
+}

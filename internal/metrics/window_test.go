@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dvfs"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func windowCollector(t *testing.T, n int) *Collector {
+	t.Helper()
+	pm := dvfs.PaperPowerModel()
+	c := NewCollector(pm, 600)
+	top := pm.Gears.Top()
+	for i := 0; i < n; i++ {
+		j := &workload.Job{ID: i + 1, Submit: float64(i * 10), Runtime: 100,
+			Procs: 1, ReqTime: 100, Beta: -1}
+		rs, end := finishedState(j, j.Submit+float64(i), []sched.Phase{{Gear: top, Dur: 100}})
+		c.JobStarted(rs, rs.Start)
+		c.JobFinished(rs, end)
+	}
+	return c
+}
+
+func TestSummarizeJobsNilFilter(t *testing.T) {
+	c := windowCollector(t, 10)
+	a := c.SummarizeJobs(nil)
+	if a.Jobs != 10 {
+		t.Errorf("jobs = %d", a.Jobs)
+	}
+	// Wait of job i is i: mean 4.5, max 9.
+	if math.Abs(a.AvgWait-4.5) > 1e-12 || a.MaxWait != 9 {
+		t.Errorf("wait = %v/%v", a.AvgWait, a.MaxWait)
+	}
+}
+
+func TestSummarizeJobsFilter(t *testing.T) {
+	c := windowCollector(t, 10)
+	a := c.SummarizeJobs(func(r *JobRecord) bool { return r.Job.ID%2 == 0 })
+	if a.Jobs != 5 {
+		t.Errorf("filtered jobs = %d, want 5", a.Jobs)
+	}
+}
+
+func TestSteadyStateTrimsBothEnds(t *testing.T) {
+	c := windowCollector(t, 100)
+	a := c.SteadyState(0.1)
+	// 10 trimmed from each end: 80..81 jobs remain depending on bounds.
+	if a.Jobs < 79 || a.Jobs > 81 {
+		t.Errorf("steady jobs = %d, want ~80", a.Jobs)
+	}
+	// The earliest and latest jobs are trimmed.
+	filter := c.SteadyStateFilter(0.1)
+	first, last := c.records[0], c.records[len(c.records)-1]
+	if filter(first) || filter(last) {
+		t.Error("steady-state filter kept the warmup/cooldown edges")
+	}
+	mid := c.records[len(c.records)/2]
+	if !filter(mid) {
+		t.Error("steady-state filter dropped the middle of the run")
+	}
+}
+
+func TestSteadyStateDegenerateFrac(t *testing.T) {
+	c := windowCollector(t, 10)
+	for _, frac := range []float64{0, -1, 0.5, 0.9} {
+		a := c.SteadyState(frac)
+		if a.Jobs != 10 {
+			t.Errorf("frac %v: jobs = %d, want all 10 (filter disabled)", frac, a.Jobs)
+		}
+	}
+}
+
+func TestSteadyStateEmptyCollector(t *testing.T) {
+	c := NewCollector(dvfs.PaperPowerModel(), 600)
+	if a := c.SteadyState(0.1); a.Jobs != 0 {
+		t.Errorf("empty steady state = %+v", a)
+	}
+}

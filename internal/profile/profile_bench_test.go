@@ -1,0 +1,35 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchProfile(entries int) *Profile {
+	r := rand.New(rand.NewSource(7))
+	p := New(1024)
+	for i := 0; i < entries; i++ {
+		s := r.Float64() * 1e5
+		p.Add(Entry{Start: s, End: s + 1 + r.Float64()*1e4, CPUs: 1 + r.Intn(512)})
+	}
+	return p
+}
+
+// BenchmarkEarliestStart measures the planning query driving conservative
+// and flexible backfilling.
+func BenchmarkEarliestStart(b *testing.B) {
+	p := benchProfile(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.EarliestStart(64, 3600, float64(i%100000))
+	}
+}
+
+// BenchmarkCanPlace measures the backfill feasibility check.
+func BenchmarkCanPlace(b *testing.B) {
+	p := benchProfile(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.CanPlace(64, float64(i%100000), 3600)
+	}
+}

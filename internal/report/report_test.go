@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"html/template"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/textplot"
+)
+
+func TestRenderEscapesAndStructure(t *testing.T) {
+	tb := textplot.Table{
+		Title:  "Table <1> & co",
+		Header: []string{"a", "b"},
+		Note:   `note with "quotes"`,
+	}
+	tb.AddRow("x<y", "1")
+	d := Data{
+		Jobs: 42,
+		Checks: []experiments.Check{
+			{Name: "claim <one>", Detail: "ok", Pass: true},
+			{Name: "claim two", Detail: "bad", Pass: false},
+		},
+		Sections: []Section{{Table: tb}},
+		Figures:  []Figure{{Name: "fig", SVG: template.HTML("<svg></svg>")}},
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Table &lt;1&gt; &amp; co", // escaped title
+		"x&lt;y",                   // escaped cell
+		"claim &lt;one&gt;",        // escaped check
+		`<span class="pass">`,
+		`<span class="fail">`,
+		"<svg></svg>", // figures inline unescaped
+		"42-job",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "<y") && !strings.Contains(out, "x&lt;y") {
+		t.Error("cell not escaped")
+	}
+}
+
+func TestRenderDefaultTitle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Data{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reproduction report") {
+		t.Error("default title missing")
+	}
+}
+
+func TestBuildFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report build in short mode")
+	}
+	s := experiments.NewSuite(500)
+	d, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Checks) < 8 {
+		t.Errorf("checks = %d", len(d.Checks))
+	}
+	if len(d.Sections) != 13 {
+		t.Errorf("sections = %d, want 13", len(d.Sections))
+	}
+	if len(d.Figures) != 11 {
+		t.Errorf("figures = %d, want 11", len(d.Figures))
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Figure 9") {
+		t.Error("report missing core artifacts")
+	}
+	if strings.Count(out, "<svg") != 11 {
+		t.Errorf("inline svg count = %d", strings.Count(out, "<svg"))
+	}
+}

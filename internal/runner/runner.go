@@ -1,0 +1,153 @@
+// Package runner wires a workload trace, a cluster configuration and a
+// gear policy into one simulation run and returns the aggregated metrics.
+// It is the single entry point the CLI tools, examples, experiments and
+// benchmarks share.
+package runner
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// DefaultBeta is the β of the execution time model the paper assumes for
+// all jobs.
+const DefaultBeta = 0.5
+
+// Spec describes one simulation run. Zero values select the paper's
+// defaults.
+type Spec struct {
+	Trace *workload.Trace
+
+	// SizeFactor scales the machine relative to the trace's original
+	// system (1.0 = original, 1.2 = "20% increased"). Zero means 1.0.
+	SizeFactor float64
+	// CPUs overrides the machine size outright when non-zero.
+	CPUs int
+
+	Variant sched.Variant
+	// Policy assigns gears; nil runs the no-DVFS baseline (top gear).
+	Policy sched.GearPolicy
+	// Selection maps job processes to processors (First Fit default).
+	Selection cluster.Selection
+	// Order is the queue discipline (FCFS default).
+	Order sched.Order
+	// Reservations is the EASY reservation depth (0/1 classic).
+	Reservations int
+
+	Gears      dvfs.GearSet     // nil → paper gear set
+	PowerModel *dvfs.PowerModel // nil → paper power model
+	Beta       float64          // 0 → DefaultBeta
+	ShortJobTh float64          // 0 → core.DefaultShortJobThreshold
+
+	// KeepCollector retains per-job records in the outcome (needed for
+	// wait-time series, Figure 6).
+	KeepCollector bool
+
+	// ExtraRecorders observe the run alongside the metrics collector
+	// (e.g. nodepower.Tracker for the power-down baseline).
+	ExtraRecorders []sched.Recorder
+}
+
+// Outcome is the result of one run.
+type Outcome struct {
+	Results   metrics.Results
+	Collector *metrics.Collector // nil unless Spec.KeepCollector
+	Policy    string
+	CPUs      int
+}
+
+// Run executes the simulation described by spec.
+func Run(spec Spec) (Outcome, error) {
+	if spec.Trace == nil {
+		return Outcome{}, fmt.Errorf("runner: nil trace")
+	}
+	gears := spec.Gears
+	if gears == nil {
+		gears = dvfs.PaperGearSet()
+	}
+	pm := spec.PowerModel
+	if pm == nil {
+		pm = dvfs.PaperPowerModel()
+	}
+	beta := spec.Beta
+	if beta == 0 {
+		beta = DefaultBeta
+	}
+	th := spec.ShortJobTh
+	if th == 0 {
+		th = core.DefaultShortJobThreshold
+	}
+	cpus := spec.CPUs
+	if cpus == 0 {
+		f := spec.SizeFactor
+		if f == 0 {
+			f = 1
+		}
+		if f <= 0 {
+			return Outcome{}, fmt.Errorf("runner: non-positive size factor %v", spec.SizeFactor)
+		}
+		cpus = int(math.Round(float64(spec.Trace.CPUs) * f))
+	}
+	pol := spec.Policy
+	if pol == nil {
+		pol = sched.FixedGear{Gear: gears.Top()}
+	}
+	col := metrics.NewCollector(pm, th)
+	var rec sched.Recorder = col
+	if len(spec.ExtraRecorders) > 0 {
+		rec = append(sched.MultiRecorder{col}, spec.ExtraRecorders...)
+	}
+	sys, err := sched.New(sched.Config{
+		CPUs:         cpus,
+		Gears:        gears,
+		TimeModel:    dvfs.NewTimeModel(beta, gears),
+		Policy:       pol,
+		Variant:      spec.Variant,
+		Recorder:     rec,
+		Selection:    spec.Selection,
+		Order:        spec.Order,
+		Reservations: spec.Reservations,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := sys.Simulate(spec.Trace); err != nil {
+		return Outcome{}, err
+	}
+	start, end := col.Window()
+	busy := sys.Cluster().BusyCPUSeconds(end)
+	idle := sys.Cluster().IdleCPUSeconds(start, end)
+	out := Outcome{
+		Results: col.Summarize(idle, busy, cpus),
+		Policy:  pol.Name(),
+		CPUs:    cpus,
+	}
+	if spec.KeepCollector {
+		out.Collector = col
+	}
+	return out, nil
+}
+
+// BaselinePair runs the spec once with its policy and once as the no-DVFS
+// baseline on the same machine size, returning (policy, baseline).
+// Normalized energies in the paper are always relative to such baselines.
+func BaselinePair(spec Spec) (Outcome, Outcome, error) {
+	withPolicy, err := Run(spec)
+	if err != nil {
+		return Outcome{}, Outcome{}, err
+	}
+	base := spec
+	base.Policy = nil
+	baseline, err := Run(base)
+	if err != nil {
+		return Outcome{}, Outcome{}, err
+	}
+	return withPolicy, baseline, nil
+}

@@ -1,0 +1,143 @@
+package sched
+
+// Queueing-theory validation: on Poisson arrivals with exponential service
+// and FCFS discipline, the simulator must reproduce M/M/1 and M/M/c
+// analytic waiting times. This validates the event engine, the FCFS path
+// and the metric plumbing end to end against closed-form ground truth.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dvfs"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// mmTrace builds a single-processor-per-job Poisson/exponential trace.
+func mmTrace(seed int64, n int, cpus int, lambda, mu float64) *workload.Trace {
+	r := stats.NewRNG(seed)
+	tr := &workload.Trace{Name: "mm", CPUs: cpus}
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += r.Exp(1 / lambda)
+		rt := r.Exp(1 / mu)
+		if rt < 1e-6 {
+			rt = 1e-6
+		}
+		tr.Jobs = append(tr.Jobs, &workload.Job{
+			ID: i + 1, Submit: t, Runtime: rt, Procs: 1,
+			// Requested time far above any sample so estimates do not
+			// truncate services (exact exponential service).
+			ReqTime: 1e9, Beta: -1,
+		})
+	}
+	return tr
+}
+
+// waits simulates the trace under FCFS and returns the mean wait.
+func meanWaitFCFS(t *testing.T, tr *workload.Trace) float64 {
+	t.Helper()
+	rec := newAudit(t, tr.CPUs)
+	gears := dvfs.PaperGearSet()
+	sys, err := New(Config{
+		CPUs: tr.CPUs, Gears: gears,
+		TimeModel: dvfs.NewTimeModel(0.5, gears),
+		Policy:    FixedGear{Gear: gears.Top()},
+		Variant:   FCFS,
+		Recorder:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Simulate(tr); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, j := range tr.Jobs {
+		sum += rec.starts[j.ID] - j.Submit
+	}
+	return sum / float64(len(tr.Jobs))
+}
+
+// M/M/1: Wq = ρ/(μ−λ) with ρ = λ/μ.
+func TestMM1WaitMatchesTheory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long queueing validation")
+	}
+	lambda, mu := 0.7, 1.0
+	want := lambda / mu / (mu - lambda)
+	// Average over several seeds to tame the (deterministic) sampling
+	// noise of finite traces.
+	sum := 0.0
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, s := range seeds {
+		sum += meanWaitFCFS(t, mmTrace(s, 60000, 1, lambda, mu))
+	}
+	got := sum / float64(len(seeds))
+	if math.Abs(got-want)/want > 0.08 {
+		t.Errorf("M/M/1 mean wait = %.4f, theory %.4f (±8%%)", got, want)
+	}
+}
+
+// erlangC returns the probability an arriving job waits in an M/M/c queue.
+func erlangC(c int, a float64) float64 {
+	// a = λ/μ offered load in Erlangs; iteratively compute the Erlang B
+	// blocking probability, then convert to Erlang C.
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b))
+}
+
+// M/M/c: Wq = C(c, a) / (cμ − λ).
+func TestMMcWaitMatchesTheory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long queueing validation")
+	}
+	const c = 4
+	lambda, mu := 3.2, 1.0 // ρ = 0.8
+	a := lambda / mu
+	want := erlangC(c, a) / (float64(c)*mu - lambda)
+	sum := 0.0
+	seeds := []int64{11, 12, 13, 14, 15}
+	for _, s := range seeds {
+		sum += meanWaitFCFS(t, mmTrace(s, 60000, c, lambda, mu))
+	}
+	got := sum / float64(len(seeds))
+	if math.Abs(got-want)/want > 0.08 {
+		t.Errorf("M/M/%d mean wait = %.4f, theory %.4f (±8%%)", c, got, want)
+	}
+}
+
+// With single-processor jobs backfilling cannot overtake under FCFS-equal
+// conditions, so EASY must match FCFS exactly on these traces.
+func TestMMEASYEqualsFCFSForSerialJobs(t *testing.T) {
+	tr := mmTrace(21, 5000, 4, 3.2, 1.0)
+	fcfs := meanWaitFCFS(t, tr)
+	rec := newAudit(t, tr.CPUs)
+	gears := dvfs.PaperGearSet()
+	sys, err := New(Config{
+		CPUs: tr.CPUs, Gears: gears,
+		TimeModel: dvfs.NewTimeModel(0.5, gears),
+		Policy:    FixedGear{Gear: gears.Top()},
+		Variant:   EASY,
+		Recorder:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Simulate(tr); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, j := range tr.Jobs {
+		sum += rec.starts[j.ID] - j.Submit
+	}
+	easy := sum / float64(len(tr.Jobs))
+	if math.Abs(easy-fcfs) > 1e-9 {
+		t.Errorf("EASY wait %.6f != FCFS wait %.6f on all-serial equal-size jobs", easy, fcfs)
+	}
+}

@@ -1,0 +1,205 @@
+package sched
+
+// Failure injection: pathological workloads that historically break job
+// schedulers — thundering-herd arrivals, machine-sized jobs, zero-length
+// jobs, heavy kill-limit truncation, adversarial estimates. Every variant
+// must survive them with invariants intact.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func simulateAll(t *testing.T, cpus int, tr *workload.Trace) map[Variant]*auditRecorder {
+	t.Helper()
+	out := map[Variant]*auditRecorder{}
+	for _, v := range []Variant{EASY, FCFS, Conservative} {
+		rec := newAudit(t, cpus)
+		sys := paperSystem(t, cpus, v, topPolicy(), rec)
+		if err := sys.Simulate(tr); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if len(rec.ends) != len(tr.Jobs) {
+			t.Fatalf("%v: finished %d of %d jobs", v, len(rec.ends), len(tr.Jobs))
+		}
+		out[v] = rec
+	}
+	return out
+}
+
+// Thundering herd: every job arrives at the same instant.
+func TestPathologicalSimultaneousArrivals(t *testing.T) {
+	tr := &workload.Trace{Name: "herd", CPUs: 8}
+	for i := 1; i <= 200; i++ {
+		tr.Jobs = append(tr.Jobs, &workload.Job{
+			ID: i, Submit: 0, Runtime: float64(1 + i%17), Procs: 1 + i%8,
+			ReqTime: float64(20 + i%31), Beta: -1,
+		})
+	}
+	simulateAll(t, 8, tr)
+}
+
+// Every job needs the whole machine: strict serialization.
+func TestPathologicalMachineSizedJobs(t *testing.T) {
+	tr := &workload.Trace{Name: "wall", CPUs: 16}
+	for i := 1; i <= 50; i++ {
+		tr.Jobs = append(tr.Jobs, &workload.Job{
+			ID: i, Submit: float64(i), Runtime: 100, Procs: 16, ReqTime: 100, Beta: -1,
+		})
+	}
+	recs := simulateAll(t, 16, tr)
+	// Serialized execution: makespan >= 50 × 100 for every variant.
+	for v, rec := range recs {
+		last := 0.0
+		for _, e := range rec.ends {
+			last = math.Max(last, e)
+		}
+		if last < 5000 {
+			t.Errorf("%v: machine-sized jobs finished too early (%v)", v, last)
+		}
+	}
+}
+
+// Zero-runtime jobs (cleaned traces keep sub-second jobs rounded to 0):
+// the engine treats them as instantaneous but must not lose them.
+func TestPathologicalZeroRuntime(t *testing.T) {
+	tr := &workload.Trace{Name: "zero", CPUs: 4}
+	for i := 1; i <= 40; i++ {
+		rt := 0.0
+		if i%2 == 0 {
+			rt = 10
+		}
+		tr.Jobs = append(tr.Jobs, &workload.Job{
+			ID: i, Submit: float64(i), Runtime: rt, Procs: 2, ReqTime: 10, Beta: -1,
+		})
+	}
+	simulateAll(t, 4, tr)
+}
+
+// Every job lies: actual runtimes exceed requests, so all jobs are killed
+// at their limit. Completion must be exactly at request × coef.
+func TestPathologicalAllJobsKilled(t *testing.T) {
+	tr := &workload.Trace{Name: "liars", CPUs: 8}
+	for i := 1; i <= 60; i++ {
+		tr.Jobs = append(tr.Jobs, &workload.Job{
+			ID: i, Submit: float64(10 * i), Runtime: 1e6, Procs: 1 + i%4,
+			ReqTime: float64(60 + i%120), Beta: -1,
+		})
+	}
+	rec := newAudit(t, 8)
+	sys := paperSystem(t, 8, EASY, topPolicy(), rec)
+	if err := sys.Simulate(tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		got := rec.ends[j.ID] - rec.starts[j.ID]
+		if math.Abs(got-j.ReqTime) > 1e-9 {
+			t.Fatalf("job %d ran %v, want killed at %v", j.ID, got, j.ReqTime)
+		}
+	}
+}
+
+// Adversarial estimates: tiny requests (immediate-kill risk for planning)
+// mixed with 100× overestimates. Backfilling must neither deadlock nor
+// violate capacity.
+func TestPathologicalEstimateSpread(t *testing.T) {
+	tr := &workload.Trace{Name: "spread", CPUs: 12}
+	for i := 1; i <= 150; i++ {
+		rt := float64(10 + i%90)
+		req := rt
+		if i%3 == 0 {
+			req = rt * 100
+		}
+		tr.Jobs = append(tr.Jobs, &workload.Job{
+			ID: i, Submit: float64(i * 3), Runtime: rt, Procs: 1 + i%12, ReqTime: req, Beta: -1,
+		})
+	}
+	simulateAll(t, 12, tr)
+}
+
+// A single 1-CPU machine degenerates every policy to sequential FCFS-ish
+// execution; all variants must agree on total busy time.
+func TestPathologicalSingleProcessor(t *testing.T) {
+	tr := &workload.Trace{Name: "uni", CPUs: 1}
+	for i := 1; i <= 100; i++ {
+		tr.Jobs = append(tr.Jobs, &workload.Job{
+			ID: i, Submit: float64(i), Runtime: float64(1 + i%7), Procs: 1,
+			ReqTime: float64(1 + i%7), Beta: -1,
+		})
+	}
+	recs := simulateAll(t, 1, tr)
+	var totals []float64
+	for _, rec := range recs {
+		sum := 0.0
+		for id, e := range rec.ends {
+			sum += e - rec.starts[id]
+		}
+		totals = append(totals, sum)
+	}
+	for i := 1; i < len(totals); i++ {
+		if math.Abs(totals[i]-totals[0]) > 1e-9 {
+			t.Errorf("busy time differs across variants: %v", totals)
+		}
+	}
+}
+
+// Long idle gaps between bursts: the event engine must jump across dead
+// time without issues, and BSLD windows must not corrupt.
+func TestPathologicalSparseBursts(t *testing.T) {
+	tr := &workload.Trace{Name: "bursts", CPUs: 8}
+	id := 0
+	for burst := 0; burst < 5; burst++ {
+		base := float64(burst) * 1e7
+		for i := 0; i < 20; i++ {
+			id++
+			tr.Jobs = append(tr.Jobs, &workload.Job{
+				ID: id, Submit: base + float64(i), Runtime: 100, Procs: 1 + i%8,
+				ReqTime: 200, Beta: -1,
+			})
+		}
+	}
+	simulateAll(t, 8, tr)
+}
+
+// Regression: two running jobs completing at the same instant. When the
+// first completion's pass runs, the second job sits exactly at its kill
+// limit but still holds processors (its event fires later at the same
+// timestamp). The planner must not treat it as released — this used to
+// over-commit the machine and panic under conservative backfilling.
+func TestSimultaneousCompletionNotDoubleCounted(t *testing.T) {
+	tr := mkTrace(4,
+		&workload.Job{ID: 1, Submit: 0, Runtime: 100, Procs: 2, ReqTime: 100},
+		&workload.Job{ID: 2, Submit: 0, Runtime: 100, Procs: 2, ReqTime: 100},
+		&workload.Job{ID: 3, Submit: 1, Runtime: 50, Procs: 4, ReqTime: 50},
+	)
+	for _, v := range []Variant{EASY, Conservative} {
+		rec := newAudit(t, 4)
+		sys := paperSystem(t, 4, v, topPolicy(), rec)
+		if err := sys.Simulate(tr); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if rec.starts[3] != 100 {
+			t.Errorf("%v: job 3 start = %v, want 100", v, rec.starts[3])
+		}
+	}
+}
+
+// A recorder that panics must not corrupt cluster state silently — the
+// panic propagates (fail-fast) rather than being swallowed.
+func TestRecorderPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("recorder panic was swallowed")
+		}
+	}()
+	sys := paperSystem(t, 4, EASY, topPolicy(), panicRecorder{})
+	tr := mkTrace(4, &workload.Job{ID: 1, Submit: 0, Runtime: 10, Procs: 1, ReqTime: 10})
+	_ = sys.Simulate(tr)
+}
+
+type panicRecorder struct{}
+
+func (panicRecorder) JobStarted(*RunState, float64)  { panic("injected failure") }
+func (panicRecorder) JobFinished(*RunState, float64) {}

@@ -1,0 +1,82 @@
+// Package sched implements parallel job scheduling on a DVFS cluster: the
+// EASY backfilling policy of Mu'alem & Feitelson (the paper's base policy)
+// plus plain FCFS and conservative backfilling baselines. Frequency
+// decisions are delegated to a GearPolicy, which is how the paper's
+// BSLD-threshold algorithm (internal/core) plugs in.
+package sched
+
+import (
+	"repro/internal/dvfs"
+	"repro/internal/workload"
+)
+
+// GearPolicy chooses the CPU gear for every scheduling decision. The
+// engine guarantees:
+//
+//   - ReserveGear is called exactly when a job is about to start (the head
+//     of the queue fitting the free processors, or a job arriving into an
+//     idle-enough machine). Whatever gear it returns is used.
+//   - BackfillGear is called when a job could jump ahead of the reserved
+//     head job. feasible(g) reports whether an immediate start at gear g
+//     keeps the head's reservation intact; the policy must only return
+//     gears for which feasible is true. ok=false leaves the job queued.
+//   - PostPass runs after every scheduling pass and may adjust running
+//     jobs through System methods (dynamic boost extension).
+//
+// wqOthers is the number of jobs waiting in the queue excluding the job
+// under decision, matching the paper's WQthreshold semantics.
+type GearPolicy interface {
+	Name() string
+	ReserveGear(j *workload.Job, start, now float64, wqOthers int) dvfs.Gear
+	BackfillGear(j *workload.Job, now float64, wqOthers int, feasible func(dvfs.Gear) bool) (dvfs.Gear, bool)
+	PostPass(sys *System, now float64)
+}
+
+// MultiRecorder fans lifecycle callbacks out to several recorders, so
+// metrics collection and auxiliary trackers (e.g. per-node occupancy for
+// the power-down baseline) can observe the same run.
+type MultiRecorder []Recorder
+
+// JobStarted implements Recorder.
+func (m MultiRecorder) JobStarted(rs *RunState, now float64) {
+	for _, r := range m {
+		r.JobStarted(rs, now)
+	}
+}
+
+// JobFinished implements Recorder.
+func (m MultiRecorder) JobFinished(rs *RunState, now float64) {
+	for _, r := range m {
+		r.JobFinished(rs, now)
+	}
+}
+
+// PassEnd forwards system-state samples to members implementing
+// PassObserver.
+func (m MultiRecorder) PassEnd(now float64, queued, busy int) {
+	for _, r := range m {
+		if o, ok := r.(PassObserver); ok {
+			o.PassEnd(now, queued, busy)
+		}
+	}
+}
+
+// FixedGear always schedules at one gear; with the top gear it is the
+// paper's no-DVFS baseline.
+type FixedGear struct {
+	Gear dvfs.Gear
+}
+
+// Name implements GearPolicy.
+func (p FixedGear) Name() string { return "fixed@" + p.Gear.String() }
+
+// ReserveGear implements GearPolicy.
+func (p FixedGear) ReserveGear(*workload.Job, float64, float64, int) dvfs.Gear { return p.Gear }
+
+// BackfillGear implements GearPolicy.
+func (p FixedGear) BackfillGear(j *workload.Job, now float64, wqOthers int, feasible func(dvfs.Gear) bool) (dvfs.Gear, bool) {
+	return p.Gear, feasible(p.Gear)
+}
+
+// PostPass implements GearPolicy.
+func (p FixedGear) PostPass(*System, float64) {}

@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/dvfs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Phase is a stretch of a job's execution at one gear. Jobs scheduled once
+// have a single phase; the dynamic boost extension appends more.
+type Phase struct {
+	Gear dvfs.Gear
+	Dur  float64 // wall-clock seconds spent at Gear
+}
+
+// RunState tracks an executing job.
+type RunState struct {
+	Job   *workload.Job
+	Gear  dvfs.Gear // current gear
+	Start float64   // actual start time
+
+	// PlannedEnd is the job's kill limit under the current gear
+	// (start + requested·Coef plus any phase history); the scheduler
+	// plans reservations and backfills against it.
+	PlannedEnd float64
+	// ActualEnd is when the completion event fires:
+	// start + effective-runtime·Coef with phase history applied.
+	ActualEnd float64
+
+	Alloc cluster.Alloc
+	endEv sim.Handle
+
+	// phaseStart is when the current gear began; closed phases live in
+	// Phases. workDone accumulates completed top-frequency seconds of the
+	// closed phases (for mid-run gear switches).
+	phaseStart float64
+	workDone   float64 // top-frequency seconds completed before phaseStart
+	reqDone    float64 // top-frequency requested-time seconds elapsed before phaseStart
+	Phases     []Phase
+
+	// Reduced reports whether the job ever executed below the top gear —
+	// the quantity Figure 4 counts.
+	Reduced bool
+}
+
+// AllPhases returns the closed phases plus the in-progress phase truncated
+// at time now.
+func (rs *RunState) AllPhases(now float64) []Phase {
+	out := make([]Phase, 0, len(rs.Phases)+1)
+	out = append(out, rs.Phases...)
+	if now > rs.phaseStart {
+		out = append(out, Phase{Gear: rs.Gear, Dur: now - rs.phaseStart})
+	}
+	return out
+}
+
+// WallClock returns the job's execution time so far at time now.
+func (rs *RunState) WallClock(now float64) float64 { return now - rs.Start }

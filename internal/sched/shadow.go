@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// shadow computes the EASY reservation for a head job that cannot start
+// now: the shadow time (earliest time enough processors are free according
+// to the running jobs' kill limits) and the number of extra processors
+// that remain free at the shadow time after the head starts. A backfilled
+// job may run past the shadow time only on those extra processors.
+//
+// Because only running jobs hold processors (EASY keeps a single
+// reservation), availability is non-decreasing in time and the sweep over
+// planned completions is exact.
+func (s *System) shadow(head *workload.Job, now float64) (float64, int) {
+	avail := s.cl.FreeCount()
+	type release struct {
+		t    float64
+		cpus int
+		id   int
+	}
+	rels := make([]release, 0, len(s.runList))
+	for _, rs := range s.runList {
+		// A job at its kill limit still holds its processors until its
+		// completion event fires (possibly later at this same timestamp);
+		// its release time must stay strictly after `now` so backfills
+		// cannot be granted capacity the head is about to claim.
+		t := rs.PlannedEnd
+		if t <= now {
+			t = math.Nextafter(now, math.Inf(1))
+		}
+		rels = append(rels, release{t: t, cpus: rs.Job.Procs, id: rs.Job.ID})
+	}
+	sort.Slice(rels, func(i, j int) bool {
+		if rels[i].t != rels[j].t {
+			return rels[i].t < rels[j].t
+		}
+		return rels[i].id < rels[j].id
+	})
+	shadowT := now
+	i := 0
+	for ; i < len(rels) && avail < head.Procs; i++ {
+		avail += rels[i].cpus
+		shadowT = rels[i].t
+	}
+	// Include every release at exactly the shadow time: the head starts
+	// once they have all completed, so their processors count as
+	// available when sizing the extra pool.
+	for ; i < len(rels) && rels[i].t == shadowT; i++ {
+		avail += rels[i].cpus
+	}
+	if shadowT < now {
+		shadowT = now
+	}
+	return shadowT, avail - head.Procs
+}

@@ -1,0 +1,420 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dvfs"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Variant selects the base job scheduling policy.
+type Variant int
+
+const (
+	// EASY is aggressive backfilling with a single reservation for the
+	// head of the queue (the paper's base policy).
+	EASY Variant = iota
+	// FCFS starts jobs strictly in arrival order, no backfilling.
+	FCFS
+	// Conservative gives every queued job a reservation; a job may jump
+	// ahead only if it delays no earlier-queued job.
+	Conservative
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case EASY:
+		return "easy"
+	case FCFS:
+		return "fcfs"
+	case Conservative:
+		return "conservative"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Recorder receives job lifecycle callbacks; the metrics collector
+// implements it. A nil Recorder disables recording.
+type Recorder interface {
+	JobStarted(rs *RunState, now float64)
+	JobFinished(rs *RunState, now float64)
+}
+
+// Order is the queue discipline: the order in which waiting jobs are
+// considered for reservations and backfilling.
+type Order int
+
+const (
+	// FCFSOrder considers jobs in arrival order (the paper's setting).
+	FCFSOrder Order = iota
+	// SJFOrder considers shorter requested times first — the classic
+	// backfilling variant trading fairness for wait time.
+	SJFOrder
+)
+
+// String names the order.
+func (o Order) String() string {
+	if o == SJFOrder {
+		return "sjf"
+	}
+	return "fcfs"
+}
+
+// Config assembles a simulated system.
+type Config struct {
+	CPUs      int
+	Gears     dvfs.GearSet
+	TimeModel dvfs.TimeModel
+	Policy    GearPolicy
+	Variant   Variant
+	Recorder  Recorder
+	// Selection is the resource selection policy mapping job processes
+	// to processors (First Fit in the paper).
+	Selection cluster.Selection
+	// Order is the queue discipline (FCFS in the paper).
+	Order Order
+	// Reservations sets how many blocked jobs hold reservations under
+	// EASY: 0 or 1 is classic EASY (single reservation); larger values
+	// give "flexible" backfilling that protects the first K queued jobs;
+	// Conservative ignores this (every job is protected).
+	Reservations int
+}
+
+// System simulates one cluster under one scheduling policy.
+type System struct {
+	cfg     Config
+	engine  *sim.Engine
+	cl      *cluster.Cluster
+	queue   []*workload.Job
+	runList []*RunState
+}
+
+// New validates the configuration and returns a ready system.
+func New(cfg Config) (*System, error) {
+	if cfg.CPUs < 1 {
+		return nil, fmt.Errorf("sched: invalid CPU count %d", cfg.CPUs)
+	}
+	if err := cfg.Gears.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("sched: nil gear policy")
+	}
+	if cfg.TimeModel.Fmax <= 0 {
+		return nil, fmt.Errorf("sched: time model missing anchor frequency")
+	}
+	cl, err := cluster.NewWithSelection(cfg.CPUs, cfg.Selection)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	s := &System{
+		cfg:    cfg,
+		engine: sim.NewEngine(),
+		cl:     cl,
+	}
+	if b, ok := cfg.Policy.(SystemBinder); ok {
+		b.Bind(s)
+	}
+	return s, nil
+}
+
+// SystemBinder is implemented by gear policies that need to observe the
+// system state (e.g. cluster utilization) when making decisions; New
+// calls Bind before the simulation starts.
+type SystemBinder interface {
+	Bind(*System)
+}
+
+// Now returns the current simulation time.
+func (s *System) Now() float64 { return s.engine.Now() }
+
+// QueueLen returns the number of jobs waiting on execution.
+func (s *System) QueueLen() int { return len(s.queue) }
+
+// Running returns the running jobs in start order. The slice is shared;
+// callers must not mutate it.
+func (s *System) Running() []*RunState { return s.runList }
+
+// Cluster exposes the machine, e.g. for utilization accounting.
+func (s *System) Cluster() *cluster.Cluster { return s.cl }
+
+// Gears returns the configured gear set.
+func (s *System) Gears() dvfs.GearSet { return s.cfg.Gears }
+
+// Coef returns the run-time dilation multiplier for job j at gear g,
+// honouring a per-job β override.
+func (s *System) Coef(j *workload.Job, g dvfs.Gear) float64 {
+	return s.cfg.TimeModel.CoefWithBeta(j.Beta, g)
+}
+
+// reqDur is the planned occupancy (kill limit) of j at gear g.
+func (s *System) reqDur(j *workload.Job, g dvfs.Gear) float64 {
+	return j.ReqTime * s.Coef(j, g)
+}
+
+// actDur is the true execution time of j at gear g.
+func (s *System) actDur(j *workload.Job, g dvfs.Gear) float64 {
+	return j.EffectiveRuntime() * s.Coef(j, g)
+}
+
+// Simulate schedules every job of the trace and runs to completion. The
+// trace must fit the machine.
+func (s *System) Simulate(tr *workload.Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	for _, j := range tr.Jobs {
+		if j.Procs > s.cfg.CPUs {
+			return fmt.Errorf("sched: job %d needs %d > %d processors", j.ID, j.Procs, s.cfg.CPUs)
+		}
+		if _, err := s.engine.Schedule(j.Submit, sim.EvArrival, j); err != nil {
+			return fmt.Errorf("sched: scheduling arrival of job %d: %w", j.ID, err)
+		}
+	}
+	s.engine.Run(s.dispatch)
+	if len(s.queue) > 0 || len(s.runList) > 0 {
+		return fmt.Errorf("sched: simulation drained with %d queued and %d running jobs",
+			len(s.queue), len(s.runList))
+	}
+	return nil
+}
+
+func (s *System) dispatch(ev sim.Event) {
+	now := s.engine.Now()
+	switch ev.Kind {
+	case sim.EvArrival:
+		s.queue = append(s.queue, ev.Payload.(*workload.Job))
+		s.pass(now)
+	case sim.EvEnd:
+		s.finish(ev.Payload.(*RunState), now)
+		s.pass(now)
+	}
+	if o, ok := s.cfg.Recorder.(PassObserver); ok {
+		o.PassEnd(now, len(s.queue), s.cl.Busy())
+	}
+}
+
+// PassObserver is an optional extension of Recorder: implementations
+// receive a system-state sample (wait-queue depth, busy processors) after
+// every scheduling pass, enabling utilization and backlog time series.
+type PassObserver interface {
+	PassEnd(now float64, queued, busy int)
+}
+
+// pass is one scheduling cycle: start queue heads while they fit, then
+// apply the variant's lookahead (reservation + backfilling for EASY,
+// nothing for FCFS, full replanning for conservative).
+func (s *System) pass(now float64) {
+	if s.cfg.Order == SJFOrder {
+		// Shortest requested time first, ties by arrival. Sorting the
+		// queue itself makes the discipline apply to head starts,
+		// reservations and the backfill scan alike.
+		sort.SliceStable(s.queue, func(a, b int) bool {
+			if s.queue[a].ReqTime != s.queue[b].ReqTime {
+				return s.queue[a].ReqTime < s.queue[b].ReqTime
+			}
+			return s.queue[a].ID < s.queue[b].ID
+		})
+	}
+	if s.cfg.Variant == Conservative {
+		s.profilePass(now, len(s.queue))
+		return
+	}
+	if s.cfg.Variant == EASY && s.cfg.Reservations > 1 {
+		s.profilePass(now, s.cfg.Reservations)
+		return
+	}
+	for len(s.queue) > 0 && s.queue[0].Procs <= s.cl.FreeCount() {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		g := s.cfg.Policy.ReserveGear(j, now, now, len(s.queue))
+		s.start(j, g, now)
+	}
+	if len(s.queue) == 0 || s.cfg.Variant == FCFS {
+		s.cfg.Policy.PostPass(s, now)
+		return
+	}
+
+	// EASY backfilling. The head cannot start; compute its shadow time
+	// (reservation start) and the extra processors not needed by it.
+	head := s.queue[0]
+	shadow, extra := s.shadow(head, now)
+	free := s.cl.FreeCount()
+	kept := make([]*workload.Job, 1, len(s.queue))
+	kept[0] = head
+	qlen := len(s.queue)
+	for _, j := range s.queue[1:] {
+		started := false
+		if j.Procs <= free {
+			feasible := func(g dvfs.Gear) bool {
+				// The backfill must not delay the reservation: either it
+				// completes (by its kill limit) before the shadow time, or
+				// it fits into the processors the head leaves over.
+				return now+s.reqDur(j, g) <= shadow || j.Procs <= extra
+			}
+			if g, ok := s.cfg.Policy.BackfillGear(j, now, qlen-1, feasible); ok && feasible(g) {
+				s.start(j, g, now)
+				free -= j.Procs
+				if now+s.reqDur(j, g) > shadow {
+					extra -= j.Procs
+				}
+				qlen--
+				started = true
+			}
+		}
+		if !started {
+			kept = append(kept, j)
+		}
+	}
+	s.queue = kept
+	s.cfg.Policy.PostPass(s, now)
+}
+
+// profilePass replans the queue against an availability profile. The
+// first maxRes blocked jobs receive reservations (placed in queue order,
+// never delaying an earlier one); the rest may only start immediately, and
+// only if that disturbs no reservation. maxRes = len(queue) yields
+// conservative backfilling; small maxRes yields "flexible" EASY variants
+// protecting the first K queued jobs.
+func (s *System) profilePass(now float64, maxRes int) {
+	prof := profile.New(s.cl.Total())
+	for _, rs := range s.runList {
+		// A job at its kill limit still occupies processors until its
+		// completion event fires (possibly at this same timestamp, later
+		// in the event order), so its release must stay strictly after
+		// `now` or the profile would over-commit the machine.
+		end := rs.PlannedEnd
+		if end <= now {
+			end = math.Nextafter(now, math.Inf(1))
+		}
+		prof.Add(profile.Entry{Start: now, End: end, CPUs: rs.Job.Procs})
+	}
+	kept := make([]*workload.Job, 0, len(s.queue))
+	qlen := len(s.queue)
+	reserved := 0
+	for _, j := range s.queue {
+		if reserved < maxRes {
+			// Reservation (or immediate start): the gear decision sees
+			// the start the job would get at the top gear; the slot is
+			// then recomputed with the chosen gear's dilated duration.
+			est := prof.EarliestStart(j.Procs, s.reqDur(j, s.cfg.Gears.Top()), now)
+			g := s.cfg.Policy.ReserveGear(j, est, now, qlen-1)
+			d := s.reqDur(j, g)
+			st := prof.EarliestStart(j.Procs, d, now)
+			if st <= now {
+				s.start(j, g, now)
+				qlen--
+				prof.Add(profile.Entry{Start: now, End: now + d, CPUs: j.Procs})
+			} else {
+				prof.Add(profile.Entry{Start: st, End: st + d, CPUs: j.Procs})
+				reserved++
+				kept = append(kept, j)
+			}
+			continue
+		}
+		// Beyond the protected prefix: immediate backfill or nothing.
+		feasible := func(g dvfs.Gear) bool {
+			return prof.CanPlace(j.Procs, now, s.reqDur(j, g))
+		}
+		if g, ok := s.cfg.Policy.BackfillGear(j, now, qlen-1, feasible); ok && feasible(g) {
+			s.start(j, g, now)
+			qlen--
+			prof.Add(profile.Entry{Start: now, End: now + s.reqDur(j, g), CPUs: j.Procs})
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.queue = kept
+	s.cfg.Policy.PostPass(s, now)
+}
+
+// start begins executing j at gear g immediately.
+func (s *System) start(j *workload.Job, g dvfs.Gear, now float64) {
+	alloc, err := s.cl.Allocate(j.Procs, now)
+	if err != nil {
+		// The pass only starts jobs that fit; failure is a scheduler bug.
+		panic(fmt.Sprintf("sched: allocation invariant broken for job %d: %v", j.ID, err))
+	}
+	rs := &RunState{
+		Job:        j,
+		Gear:       g,
+		Start:      now,
+		PlannedEnd: now + s.reqDur(j, g),
+		ActualEnd:  now + s.actDur(j, g),
+		Alloc:      alloc,
+		phaseStart: now,
+		Reduced:    !s.cfg.Gears.IsTop(g),
+	}
+	h, err := s.engine.Schedule(rs.ActualEnd, sim.EvEnd, rs)
+	if err != nil {
+		panic(fmt.Sprintf("sched: scheduling completion of job %d: %v", j.ID, err))
+	}
+	rs.endEv = h
+	s.runList = append(s.runList, rs)
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.JobStarted(rs, now)
+	}
+}
+
+// finish releases j's processors and closes its phase history.
+func (s *System) finish(rs *RunState, now float64) {
+	if err := s.cl.Release(rs.Alloc, now); err != nil {
+		panic(fmt.Sprintf("sched: release invariant broken for job %d: %v", rs.Job.ID, err))
+	}
+	for i, r := range s.runList {
+		if r == rs {
+			s.runList = append(s.runList[:i], s.runList[i+1:]...)
+			break
+		}
+	}
+	rs.Phases = rs.AllPhases(now)
+	rs.phaseStart = now // the open phase is now empty
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.JobFinished(rs, now)
+	}
+}
+
+// SetGear switches a running job to gear g at time now, rescaling its
+// remaining work under the β model and re-scheduling its completion. It
+// implements the paper's future-work extension of dynamically raising
+// frequencies of running jobs. Policies call it from PostPass.
+func (s *System) SetGear(rs *RunState, g dvfs.Gear, now float64) {
+	if g == rs.Gear {
+		return
+	}
+	oldCoef := s.Coef(rs.Job, rs.Gear)
+	dur := now - rs.phaseStart
+	if dur > 0 {
+		rs.Phases = append(rs.Phases, Phase{Gear: rs.Gear, Dur: dur})
+		rs.workDone += dur / oldCoef
+		rs.reqDone += dur / oldCoef
+	}
+	rs.phaseStart = now
+	rs.Gear = g
+	newCoef := s.Coef(rs.Job, g)
+	remWork := rs.Job.EffectiveRuntime() - rs.workDone
+	if remWork < 0 {
+		remWork = 0
+	}
+	remReq := rs.Job.ReqTime - rs.reqDone
+	if remReq < 0 {
+		remReq = 0
+	}
+	rs.ActualEnd = now + remWork*newCoef
+	rs.PlannedEnd = now + remReq*newCoef
+	if !s.cfg.Gears.IsTop(g) {
+		rs.Reduced = true
+	}
+	s.engine.Cancel(rs.endEv)
+	h, err := s.engine.Schedule(rs.ActualEnd, sim.EvEnd, rs)
+	if err != nil {
+		panic(fmt.Sprintf("sched: rescheduling completion of job %d: %v", rs.Job.ID, err))
+	}
+	rs.endEv = h
+}

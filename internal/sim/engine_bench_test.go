@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkScheduleAndDrain measures raw event queue throughput.
+func BenchmarkScheduleAndDrain(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	times := make([]Time, 10000)
+	for i := range times {
+		times[i] = r.Float64() * 1e6
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for _, t := range times {
+			if _, err := e.Schedule(t, EvArrival, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		count := 0
+		e.Run(func(Event) { count++ })
+		if count != len(times) {
+			b.Fatalf("drained %d", count)
+		}
+	}
+	b.ReportMetric(float64(len(times)*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkInterleaved measures the simulation-like pattern: each handled
+// event schedules a follow-up.
+func BenchmarkInterleaved(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		e.Schedule(0, EvArrival, 0)
+		n := 0
+		e.Run(func(ev Event) {
+			n++
+			if n < 10000 {
+				e.Schedule(e.Now()+1, EvEnd, nil)
+			}
+		})
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsDispatchInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	times := []Time{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		if _, err := e.Schedule(tm, EvArrival, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Time
+	e.Run(func(ev Event) { got = append(got, ev.T) })
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("events out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Errorf("dispatched %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestEndBeforeArrivalAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []EventKind
+	// Insert the arrival first so insertion order alone would dispatch
+	// it first; kind ordering must win.
+	e.Schedule(10, EvArrival, nil)
+	e.Schedule(10, EvEnd, nil)
+	e.Run(func(ev Event) { order = append(order, ev.Kind) })
+	if order[0] != EvEnd || order[1] != EvArrival {
+		t.Errorf("order = %v, want End before Arrival", order)
+	}
+}
+
+func TestFIFOAtEqualTimeAndKind(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		e.Schedule(7, EvArrival, i)
+	}
+	e.Run(func(ev Event) { got = append(got, ev.Payload.(int)) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time same-kind events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(3, EvArrival, nil)
+	e.Schedule(9, EvArrival, nil)
+	var at []Time
+	e.Run(func(ev Event) { at = append(at, e.Now()) })
+	if at[0] != 3 || at[1] != 9 {
+		t.Errorf("Now() during dispatch = %v", at)
+	}
+	if e.Now() != 9 {
+		t.Errorf("final Now() = %v, want 9", e.Now())
+	}
+}
+
+func TestScheduleFromHandler(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, EvArrival, nil)
+	count := 0
+	e.Run(func(ev Event) {
+		count++
+		if count < 5 {
+			if _, err := e.Schedule(e.Now()+1, EvArrival, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if count != 5 {
+		t.Errorf("chained dispatch count = %d, want 5", count)
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, EvArrival, nil)
+	e.Run(func(ev Event) {
+		if _, err := e.Schedule(5, EvArrival, nil); err != ErrPastEvent {
+			t.Errorf("past scheduling error = %v, want ErrPastEvent", err)
+		}
+	})
+}
+
+func TestScheduleNonFiniteRejected(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(math.NaN(), EvArrival, nil); err == nil {
+		t.Error("NaN time accepted")
+	}
+	if _, err := e.Schedule(math.Inf(1), EvArrival, nil); err == nil {
+		t.Error("Inf time accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	h, _ := e.Schedule(5, EvEnd, "canceled")
+	e.Schedule(6, EvArrival, "kept")
+	e.Cancel(h)
+	e.Cancel(h) // double cancel is a no-op
+	e.Cancel(Handle{})
+	var got []any
+	e.Run(func(ev Event) { got = append(got, ev.Payload) })
+	if len(got) != 1 || got[0] != "kept" {
+		t.Errorf("dispatched = %v, want only the kept event", got)
+	}
+}
+
+func TestLenSkipsCanceled(t *testing.T) {
+	e := NewEngine()
+	h, _ := e.Schedule(1, EvArrival, nil)
+	e.Schedule(2, EvArrival, nil)
+	if e.Len() != 2 {
+		t.Errorf("Len = %d, want 2", e.Len())
+	}
+	e.Cancel(h)
+	if e.Len() != 1 {
+		t.Errorf("Len after cancel = %d, want 1", e.Len())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), EvArrival, nil)
+	}
+	count := 0
+	e.Run(func(ev Event) {
+		count++
+		if count == 3 {
+			e.Stop()
+		}
+	})
+	if count != 3 {
+		t.Errorf("dispatched %d events after Stop, want 3", count)
+	}
+	if e.Len() != 7 {
+		t.Errorf("remaining = %d, want 7", e.Len())
+	}
+}
+
+// Property: any set of scheduled events is dispatched in non-decreasing
+// time order with Ends before Arrivals at equal times.
+func TestQuickDispatchOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		total := int(n%50) + 1
+		for i := 0; i < total; i++ {
+			kind := EvArrival
+			if r.Intn(2) == 0 {
+				kind = EvEnd
+			}
+			e.Schedule(Time(r.Intn(20)), kind, nil)
+		}
+		var last Event
+		first := true
+		ok := true
+		e.Run(func(ev Event) {
+			if !first {
+				if ev.T < last.T {
+					ok = false
+				}
+				if ev.T == last.T && ev.Kind < last.Kind {
+					ok = false
+				}
+			}
+			last, first = ev, false
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the engine drains exactly the number of non-canceled events.
+func TestQuickDrainCount(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		total := int(n % 60)
+		canceled := 0
+		for i := 0; i < total; i++ {
+			h, _ := e.Schedule(Time(r.Intn(100)), EvArrival, nil)
+			if r.Intn(3) == 0 {
+				e.Cancel(h)
+				canceled++
+			}
+		}
+		got := 0
+		e.Run(func(Event) { got++ })
+		return got == total-canceled
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// EvCustom is the extension hook for policies needing extra wake-ups; it
+// must interleave with the built-in kinds after Ends and Arrivals at equal
+// timestamps.
+func TestCustomEventsOrderAfterBuiltins(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, EvCustom, "custom")
+	e.Schedule(5, EvArrival, "arrival")
+	e.Schedule(5, EvEnd, "end")
+	var order []any
+	e.Run(func(ev Event) { order = append(order, ev.Payload) })
+	want := []any{"end", "arrival", "custom"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

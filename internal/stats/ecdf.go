@@ -1,0 +1,60 @@
+package stats
+
+import "sort"
+
+// ECDF is an empirical cumulative distribution function over a sample,
+// used to compare generated workload distributions against references
+// (two-sample Kolmogorov–Smirnov distance).
+type ECDF struct {
+	xs []float64 // sorted ascending
+}
+
+// NewECDF copies and sorts the sample.
+func NewECDF(data []float64) ECDF {
+	xs := make([]float64, len(data))
+	copy(xs, data)
+	sort.Float64s(xs)
+	return ECDF{xs: xs}
+}
+
+// N returns the sample size.
+func (e ECDF) N() int { return len(e.xs) }
+
+// At returns F(x) = P(X <= x).
+func (e ECDF) At(x float64) float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	// Number of samples <= x.
+	n := sort.Search(len(e.xs), func(i int) bool { return e.xs[i] > x })
+	return float64(n) / float64(len(e.xs))
+}
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic
+// sup_x |Fa(x) − Fb(x)|, in [0, 1]. Zero for identical samples, one for
+// fully separated supports.
+func KSDistance(a, b ECDF) float64 {
+	if a.N() == 0 || b.N() == 0 {
+		return 0
+	}
+	max := 0.0
+	// The supremum is attained at a sample point of either distribution.
+	for _, x := range a.xs {
+		if d := abs(a.At(x) - b.At(x)); d > max {
+			max = d
+		}
+	}
+	for _, x := range b.xs {
+		if d := abs(a.At(x) - b.At(x)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFAt(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 4})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 0.75}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("F(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(5) != 0 || e.N() != 0 {
+		t.Error("empty ECDF should be zero")
+	}
+}
+
+func TestECDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewECDF(in)
+	if in[0] != 3 {
+		t.Error("input reordered")
+	}
+}
+
+func TestKSIdenticalSamples(t *testing.T) {
+	a := NewECDF([]float64{1, 2, 3, 4, 5})
+	if d := KSDistance(a, a); d != 0 {
+		t.Errorf("KS of identical samples = %v", d)
+	}
+}
+
+func TestKSDisjointSupports(t *testing.T) {
+	a := NewECDF([]float64{1, 2, 3})
+	b := NewECDF([]float64{10, 11, 12})
+	if d := KSDistance(a, b); d != 1 {
+		t.Errorf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSKnownValue(t *testing.T) {
+	// F_a jumps to 1 at 1; F_b jumps to 1 at 2: sup difference is 1 at x=1...
+	// with interleaving {1,3} vs {2,4}: at x=1 |0.5-0|=0.5, x=2 |0.5-0.5|=0,
+	// x=3 |1-0.5|=0.5 -> KS = 0.5.
+	a := NewECDF([]float64{1, 3})
+	b := NewECDF([]float64{2, 4})
+	if d := KSDistance(a, b); d != 0.5 {
+		t.Errorf("KS = %v, want 0.5", d)
+	}
+}
+
+func TestKSSameSeedGenerators(t *testing.T) {
+	// Large same-distribution samples: KS should be small.
+	r1, r2 := NewRNG(1), NewRNG(2)
+	var a, b []float64
+	for i := 0; i < 20000; i++ {
+		a = append(a, r1.Lognormal(2, 1))
+		b = append(b, r2.Lognormal(2, 1))
+	}
+	if d := KSDistance(NewECDF(a), NewECDF(b)); d > 0.03 {
+		t.Errorf("KS of same-distribution samples = %v, want < 0.03", d)
+	}
+	// Different distributions: clearly separated.
+	var c []float64
+	r3 := NewRNG(3)
+	for i := 0; i < 20000; i++ {
+		c = append(c, r3.Lognormal(3, 1))
+	}
+	if d := KSDistance(NewECDF(a), NewECDF(c)); d < 0.2 {
+		t.Errorf("KS of shifted distributions = %v, want > 0.2", d)
+	}
+}
+
+// Property: KS is symmetric and within [0, 1].
+func TestQuickKSProperties(t *testing.T) {
+	f := func(ra, rb []uint16) bool {
+		if len(ra) == 0 || len(rb) == 0 {
+			return true
+		}
+		xa := make([]float64, len(ra))
+		for i, v := range ra {
+			xa[i] = float64(v)
+		}
+		xb := make([]float64, len(rb))
+		for i, v := range rb {
+			xb[i] = float64(v)
+		}
+		a, b := NewECDF(xa), NewECDF(xb)
+		d1, d2 := KSDistance(a, b), KSDistance(b, a)
+		return d1 == d2 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

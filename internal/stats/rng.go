@@ -1,0 +1,134 @@
+// Package stats provides the deterministic random number generation and
+// probability distributions used by the synthetic workload generators.
+//
+// All randomness in the repository flows through *stats.RNG so that every
+// simulation is reproducible from a single integer seed. The distributions
+// implemented here (exponential, gamma, lognormal, Weibull, two-phase
+// hyper-exponential, weighted discrete choice) are the standard building
+// blocks of parallel workload models such as Lublin–Feitelson.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic source of random variates. It wraps math/rand's
+// generator seeded explicitly; two RNGs built with the same seed produce
+// identical streams.
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{src: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Uniform returns a uniform variate in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Normal returns a standard normal variate (mean 0, stddev 1).
+func (r *RNG) Normal() float64 { return r.src.NormFloat64() }
+
+// Exp returns an exponential variate with the given mean. The mean must be
+// positive.
+func (r *RNG) Exp(mean float64) float64 {
+	return r.src.ExpFloat64() * mean
+}
+
+// Lognormal returns a variate whose natural logarithm is normal with the
+// given location mu and scale sigma. The median of the distribution is
+// exp(mu).
+func (r *RNG) Lognormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.src.NormFloat64())
+}
+
+// Weibull returns a Weibull variate with the given shape k and scale lambda.
+// shape and scale must be positive.
+func (r *RNG) Weibull(shape, scale float64) float64 {
+	u := r.src.Float64()
+	// Guard against log(0): Float64 is in [0,1), so 1-u is in (0,1].
+	return scale * math.Pow(-math.Log(1-u), 1/shape)
+}
+
+// Gamma returns a gamma variate with the given shape k and scale theta
+// (mean k*theta), using the Marsaglia–Tsang squeeze method. Both parameters
+// must be positive.
+func (r *RNG) Gamma(shape, scale float64) float64 {
+	if shape < 1 {
+		// Boost to shape+1 and correct with a power of a uniform variate.
+		u := r.src.Float64()
+		for u == 0 {
+			u = r.src.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := r.src.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.src.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// HyperExp2 returns a two-phase hyper-exponential variate: with probability
+// p the variate is exponential with mean1, otherwise exponential with
+// mean2. Hyper-exponentials model the heavy-tailed runtimes of HPC jobs.
+func (r *RNG) HyperExp2(p, mean1, mean2 float64) float64 {
+	if r.src.Float64() < p {
+		return r.Exp(mean1)
+	}
+	return r.Exp(mean2)
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.src.Float64() < p }
+
+// Zipf returns a sampler of integers in [0, n) with P(k) ∝ 1/(k+1)^s,
+// s > 1. HPC centers show Zipf-like user activity: a few users submit
+// most jobs.
+func (r *RNG) Zipf(s float64, n int) func() int {
+	z := rand.NewZipf(r.src, s, 1, uint64(n-1))
+	return func() int { return int(z.Uint64()) }
+}
+
+// Choice draws an index in [0, len(weights)) with probability proportional
+// to the weights. It panics if weights is empty or sums to a non-positive
+// value.
+func (r *RNG) Choice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("stats: Choice requires positive total weight")
+	}
+	x := r.src.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same-seed RNGs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		x := r.Uniform(3, 9)
+		if x < 3 || x >= 9 {
+			t.Fatalf("Uniform(3,9) = %v out of range", x)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(11)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Exp(5))
+	}
+	if math.Abs(s.Mean()-5) > 0.1 {
+		t.Errorf("Exp(5) sample mean = %v, want ~5", s.Mean())
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	r := NewRNG(13)
+	mu := 2.0
+	data := make([]float64, 100000)
+	for i := range data {
+		data[i] = r.Lognormal(mu, 1.5)
+	}
+	med := Quantile(data, 0.5)
+	want := math.Exp(mu)
+	if math.Abs(med-want)/want > 0.1 {
+		t.Errorf("lognormal median = %v, want ~%v", med, want)
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	r := NewRNG(17)
+	// For shape k and scale lambda, the mean is lambda*Gamma(1+1/k).
+	// With k=1 the Weibull reduces to an exponential with mean lambda.
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Weibull(1, 4))
+	}
+	if math.Abs(s.Mean()-4) > 0.1 {
+		t.Errorf("Weibull(1,4) mean = %v, want ~4", s.Mean())
+	}
+}
+
+func TestGammaMeanAndVariance(t *testing.T) {
+	r := NewRNG(19)
+	shape, scale := 3.0, 2.0
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Gamma(shape, scale))
+	}
+	if math.Abs(s.Mean()-shape*scale) > 0.15 {
+		t.Errorf("Gamma(3,2) mean = %v, want ~6", s.Mean())
+	}
+	if math.Abs(s.Var()-shape*scale*scale) > 0.6 {
+		t.Errorf("Gamma(3,2) var = %v, want ~12", s.Var())
+	}
+}
+
+func TestGammaSmallShape(t *testing.T) {
+	r := NewRNG(23)
+	shape, scale := 0.5, 3.0
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		x := r.Gamma(shape, scale)
+		if x < 0 {
+			t.Fatalf("gamma variate negative: %v", x)
+		}
+		s.Add(x)
+	}
+	if math.Abs(s.Mean()-shape*scale) > 0.15 {
+		t.Errorf("Gamma(0.5,3) mean = %v, want ~1.5", s.Mean())
+	}
+}
+
+func TestHyperExp2Mean(t *testing.T) {
+	r := NewRNG(29)
+	p, m1, m2 := 0.7, 10.0, 100.0
+	var s Summary
+	for i := 0; i < 300000; i++ {
+		s.Add(r.HyperExp2(p, m1, m2))
+	}
+	want := p*m1 + (1-p)*m2
+	if math.Abs(s.Mean()-want)/want > 0.05 {
+		t.Errorf("HyperExp2 mean = %v, want ~%v", s.Mean(), want)
+	}
+}
+
+func TestChoiceDistribution(t *testing.T) {
+	r := NewRNG(31)
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[r.Choice(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * float64(n)
+		if math.Abs(float64(counts[i])-want) > 0.05*float64(n) {
+			t.Errorf("Choice bucket %d count = %d, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestChoicePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choice on empty weights did not panic")
+		}
+	}()
+	NewRNG(1).Choice(nil)
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := NewRNG(37)
+	for i := 0; i < 1000; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+// Property: all distribution draws are non-negative for valid parameters.
+func TestQuickNonNegativeDraws(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		r := NewRNG(seed)
+		shape := 0.1 + float64(a%50)/10
+		scale := 0.1 + float64(b%50)/10
+		return r.Exp(scale) >= 0 &&
+			r.Weibull(shape, scale) >= 0 &&
+			r.Gamma(shape, scale) >= 0 &&
+			r.Lognormal(0, scale) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Choice always returns a valid index.
+func TestQuickChoiceIndexInRange(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		for i, v := range raw {
+			weights[i] = float64(v) + 1 // ensure positive
+		}
+		idx := NewRNG(seed).Choice(weights)
+		return idx >= 0 && idx < len(weights)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(41)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(43)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Normal())
+	}
+	if math.Abs(s.Mean()) > 0.02 || math.Abs(s.StdDev()-1) > 0.02 {
+		t.Errorf("Normal moments = %v/%v, want ~0/1", s.Mean(), s.StdDev())
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(47)
+	draw := r.Zipf(1.5, 20)
+	counts := make([]int, 20)
+	for i := 0; i < 50000; i++ {
+		v := draw()
+		if v < 0 || v >= 20 {
+			t.Fatalf("Zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate rank 10 heavily.
+	if counts[0] < 5*counts[10] {
+		t.Errorf("Zipf not skewed: rank0=%d rank10=%d", counts[0], counts[10])
+	}
+}

@@ -1,0 +1,172 @@
+// Package svgplot renders the reproduction's figures as standalone SVG
+// documents using only the standard library, so the paper's grouped-bar
+// and line figures can be regenerated as graphics, not just text tables.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// palette cycles across series.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7",
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// layout constants shared by both chart kinds.
+const (
+	chartW   = 840
+	chartH   = 480
+	marginL  = 70
+	marginR  = 20
+	marginT  = 50
+	marginB  = 90
+	plotW    = chartW - marginL - marginR
+	plotH    = chartH - marginT - marginB
+	tickN    = 5
+	fontFace = `font-family="sans-serif"`
+)
+
+func header(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		chartW, chartH, chartW, chartH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" %s font-size="16" font-weight="bold">%s</text>`+"\n",
+		marginL, fontFace, esc(title))
+	return b.String()
+}
+
+// yAxis draws the axis, gridlines and tick labels for [0, maxY].
+func yAxis(b *strings.Builder, maxY float64, label string) {
+	for i := 0; i <= tickN; i++ {
+		v := maxY * float64(i) / tickN
+		y := float64(marginT+plotH) - float64(plotH)*float64(i)/tickN
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" %s font-size="11" text-anchor="end">%.4g</text>`+"\n",
+			marginL-6, y+4, fontFace, v)
+	}
+	fmt.Fprintf(b, `<text x="16" y="%d" %s font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginT+plotH/2, fontFace, marginT+plotH/2, esc(label))
+}
+
+// legend draws the series swatches above the plot.
+func legend(b *strings.Builder, names []string) {
+	x := marginL
+	for i, n := range names {
+		color := palette[i%len(palette)]
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", x, 32, color)
+		fmt.Fprintf(b, `<text x="%d" y="42" %s font-size="12">%s</text>`+"\n", x+16, fontFace, esc(n))
+		x += 16 + 8*len(n) + 24
+	}
+}
+
+// BarChart renders grouped vertical bars (the Figures 3–5 layout):
+// data[group][series], one cluster of len(series) bars per group.
+func BarChart(title, yLabel string, groups, series []string, data [][]float64) string {
+	var b strings.Builder
+	b.WriteString(header(title))
+	maxY := 0.0
+	for _, row := range data {
+		for _, v := range row {
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	yAxis(&b, maxY, yLabel)
+	legend(&b, series)
+
+	nGroups := len(groups)
+	if nGroups == 0 {
+		nGroups = 1
+	}
+	groupW := float64(plotW) / float64(nGroups)
+	barW := groupW * 0.8 / math.Max(1, float64(len(series)))
+	for g, group := range groups {
+		gx := float64(marginL) + groupW*float64(g)
+		if g < len(data) {
+			for si, v := range data[g] {
+				h := v / maxY * float64(plotH)
+				x := gx + groupW*0.1 + barW*float64(si)
+				y := float64(marginT+plotH) - h
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s / %s: %.4g</title></rect>`+"\n",
+					x, y, barW, h, palette[si%len(palette)], esc(group), esc(series[si%len(series)]), v)
+			}
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" %s font-size="11" text-anchor="middle" transform="rotate(-30 %.1f %d)">%s</text>`+"\n",
+			gx+groupW/2, marginT+plotH+20, fontFace, gx+groupW/2, marginT+plotH+20, esc(group))
+	}
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// LineChart renders one polyline per series over shared axes (the Figure
+// 6–9 layout). Each series is a list of (x, y) points.
+func LineChart(title, xLabel, yLabel string, names []string, series [][][2]float64) string {
+	var b strings.Builder
+	b.WriteString(header(title))
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, s := range series {
+		for _, p := range s {
+			minX = math.Min(minX, p[0])
+			maxX = math.Max(maxX, p[0])
+			maxY = math.Max(maxY, p[1])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX = 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	yAxis(&b, maxY, yLabel)
+	legend(&b, names)
+	// X ticks.
+	for i := 0; i <= tickN; i++ {
+		v := minX + (maxX-minX)*float64(i)/tickN
+		x := float64(marginL) + float64(plotW)*float64(i)/tickN
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" %s font-size="11" text-anchor="middle">%.4g</text>`+"\n",
+			x, marginT+plotH+18, fontFace, v)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" %s font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, chartH-14, fontFace, esc(xLabel))
+	for si, s := range series {
+		if len(s) == 0 {
+			continue
+		}
+		var pts []string
+		for _, p := range s {
+			x := float64(marginL) + (p[0]-minX)/(maxX-minX)*float64(plotW)
+			y := float64(marginT+plotH) - p[1]/maxY*float64(plotH)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		color := palette[si%len(palette)]
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for _, p := range s {
+			x := float64(marginL) + (p[0]-minX)/(maxX-minX)*float64(plotW)
+			y := float64(marginT+plotH) - p[1]/maxY*float64(plotH)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x, y, color)
+		}
+	}
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	b.WriteString("</svg>\n")
+	return b.String()
+}

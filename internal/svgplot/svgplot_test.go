@@ -1,0 +1,70 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the document with encoding/xml, so malformed markup
+// (unescaped text, unclosed tags) fails the test.
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+}
+
+func TestBarChartWellFormed(t *testing.T) {
+	doc := BarChart("Energy <norm> & friends", "energy %",
+		[]string{"CTC", "SDSC"}, []string{"WQ 0", "WQ \"NO\""},
+		[][]float64{{90, 85}, {99, 91}})
+	wellFormed(t, doc)
+	if !strings.Contains(doc, "<svg") || !strings.Contains(doc, "</svg>") {
+		t.Error("not an svg document")
+	}
+	// One rect per bar (plus background).
+	if n := strings.Count(doc, "<rect"); n < 5 {
+		t.Errorf("rect count = %d, want >= 5", n)
+	}
+	// Escaping of special characters in labels.
+	if strings.Contains(doc, "<norm>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestBarChartEmptyData(t *testing.T) {
+	doc := BarChart("t", "y", nil, nil, nil)
+	wellFormed(t, doc)
+}
+
+func TestLineChartWellFormed(t *testing.T) {
+	doc := LineChart("Wait", "size", "seconds",
+		[]string{"Orig", "DVFS"},
+		[][][2]float64{
+			{{1, 100}, {1.5, 50}, {2, 25}},
+			{{1, 200}, {1.5, 80}, {2, 30}},
+		})
+	wellFormed(t, doc)
+	if n := strings.Count(doc, "<polyline"); n != 2 {
+		t.Errorf("polyline count = %d, want 2", n)
+	}
+	if n := strings.Count(doc, "<circle"); n != 6 {
+		t.Errorf("circle count = %d, want 6", n)
+	}
+}
+
+func TestLineChartNoData(t *testing.T) {
+	wellFormed(t, LineChart("t", "x", "y", nil, nil))
+}
+
+func TestLineChartSinglePointSeries(t *testing.T) {
+	wellFormed(t, LineChart("t", "x", "y", []string{"a"}, [][][2]float64{{{5, 5}}}))
+}

@@ -1,0 +1,111 @@
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders one horizontal bar per (group, series) pair, scaled to
+// width characters at the maximum value. data is indexed [group][series].
+// It reproduces the grouped-bar figures of the paper (Figures 3, 4, 5).
+func BarChart(title string, groups, series []string, data [][]float64, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	}
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	for _, row := range data {
+		for _, v := range row {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	labelW := 0
+	for _, s := range series {
+		if len(s) > labelW {
+			labelW = len(s)
+		}
+	}
+	for g, group := range groups {
+		fmt.Fprintf(&b, "%s\n", group)
+		if g >= len(data) {
+			continue
+		}
+		for i, v := range data[g] {
+			name := ""
+			if i < len(series) {
+				name = series[i]
+			}
+			n := int(math.Round(v / maxVal * float64(width)))
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %.4g\n", labelW, name, strings.Repeat("#", n), v)
+		}
+	}
+	return b.String()
+}
+
+// LineChart plots one or more named series on a shared character grid of
+// the given width and height, used for the wait-time trace of Figure 6.
+// Each series is a list of (x, y) points; x and y ranges are shared.
+func LineChart(title string, names []string, series [][][2]float64, width, height int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	}
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s {
+			minX = math.Min(minX, p[0])
+			maxX = math.Max(maxX, p[0])
+			maxY = math.Max(maxY, p[1])
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		return b.String() + "(no data)\n"
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for _, p := range s {
+			col := int((p[0] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((p[1]-minY)/(maxY-minY)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+	for i, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%10.0f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.0f%*.0f\n", "", width/2, minX, width-width/2, maxX)
+	for i, n := range names {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[i%len(marks)], n)
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := Table{
+		Title:  "T",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("a", "1")
+	tb.AddRow("longer", "22")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "name") || !strings.Contains(lines[2], "value") {
+		t.Errorf("header line = %q", lines[2])
+	}
+	// All data lines must be equally wide (alignment).
+	if len(lines[4]) != len(lines[5]) {
+		t.Errorf("rows not aligned: %q vs %q", lines[4], lines[5])
+	}
+}
+
+func TestTableNote(t *testing.T) {
+	tb := Table{Header: []string{"x"}, Note: "hello"}
+	if !strings.Contains(tb.Render(), "note: hello") {
+		t.Error("note missing")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", "x,y")
+	tb.AddRow(`q"z`, "2")
+	csv := tb.CSV()
+	want := "a,b\n1,\"x,y\"\n\"q\"\"z\",2\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("B", []string{"g1", "g2"}, []string{"s1", "s2"},
+		[][]float64{{1, 2}, {4, 0}}, 20)
+	if !strings.Contains(out, "g1") || !strings.Contains(out, "g2") {
+		t.Error("groups missing")
+	}
+	// Largest value gets the full width.
+	if !strings.Contains(out, strings.Repeat("#", 20)+" 4") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "| 0") {
+		t.Errorf("zero bar should be empty:\n%s", out)
+	}
+}
+
+func TestBarChartEmptyData(t *testing.T) {
+	out := BarChart("B", []string{"g"}, []string{"s"}, [][]float64{{0}}, 10)
+	if out == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	s1 := [][2]float64{{0, 0}, {50, 5}, {100, 10}}
+	s2 := [][2]float64{{0, 10}, {100, 0}}
+	out := LineChart("L", []string{"up", "down"}, [][][2]float64{s1, s2}, 40, 8)
+	if !strings.Contains(out, "* = up") || !strings.Contains(out, "o = down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("marks missing")
+	}
+}
+
+func TestLineChartNoData(t *testing.T) {
+	out := LineChart("L", nil, nil, 10, 5)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("expected no-data marker, got %q", out)
+	}
+}

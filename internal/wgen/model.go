@@ -1,0 +1,276 @@
+// Package wgen generates synthetic workload traces modeled after the five
+// Parallel Workload Archive logs the paper simulates (CTC SP2, SDSC SP2,
+// SDSC Blue Horizon, LLNL Thunder, LLNL Atlas). The archive traces are
+// proprietary data that cannot be fetched in this offline build, so each
+// preset reproduces the characteristics the paper reports that drive the
+// results: system size, 5000-job segments, degree of parallelism, runtime
+// and user-estimate distributions, and — decisive for the evaluation — the
+// load level, calibrated so the no-DVFS average BSLD under EASY
+// backfilling lands near Table 1 of the paper.
+package wgen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Model parameterizes one synthetic workload.
+type Model struct {
+	Name string
+	CPUs int   // system size (processors)
+	Jobs int   // number of jobs to generate
+	Seed int64 // RNG seed; same seed, same trace
+
+	// Load is the offered utilization: Σ procs·runtime ÷ (CPUs·span).
+	// Arrival times are scaled so the generated trace hits it exactly.
+	Load float64
+	// ArrivalCV is the coefficient of variation of interarrival gaps;
+	// 1 is a Poisson process, larger is burstier.
+	ArrivalCV float64
+	// DailyCycle adds a day/night arrival-rate modulation of the given
+	// relative amplitude in [0,1); 0 disables.
+	DailyCycle float64
+
+	// Degree of parallelism.
+	SerialFrac   float64 // probability of a 1-processor job
+	MinProcs     int     // lower bound for parallel jobs (8 on SDSC Blue)
+	MaxProcs     int     // upper bound (defaults to CPUs)
+	Pow2Frac     float64 // probability a parallel size snaps to a power of two
+	SizeLogMean  float64 // lognormal location of parallel sizes
+	SizeLogSigma float64 // lognormal scale of parallel sizes
+
+	// Runtime distribution (seconds at the top frequency).
+	ShortFrac  float64 // probability of a short job
+	ShortMean  float64 // exponential mean of short jobs
+	RtLogMean  float64 // lognormal location of the runtime body
+	RtLogSigma float64 // lognormal scale of the runtime body
+	MinRuntime float64 // clamp (defaults to 1 s)
+	MaxRuntime float64 // clamp (defaults to 48 h)
+
+	// User estimates: requested = runtime · (1 + factor), with factor
+	// exponential of mean OverestMean, rounded up to scheduler-friendly
+	// values; AccurateFrac of jobs request (almost) exactly their runtime.
+	AccurateFrac float64
+	OverestMean  float64
+
+	// Users is the size of the submitting-user pool; 0 leaves jobs with
+	// unknown user (-1). Activity across users is Zipf-distributed with
+	// exponent UserSkew (default 1.5 when Users > 0).
+	Users    int
+	UserSkew float64
+
+	// BetaMin/BetaMax draw a per-job β uniformly (the paper's Section 7
+	// future work models per-job DVFS potential). Both zero leaves jobs
+	// on the global β.
+	BetaMin, BetaMax float64
+}
+
+// withDefaults fills optional fields.
+func (m Model) withDefaults() Model {
+	if m.MaxProcs == 0 {
+		m.MaxProcs = m.CPUs
+	}
+	if m.MinProcs == 0 {
+		m.MinProcs = 1
+	}
+	if m.MinRuntime == 0 {
+		m.MinRuntime = 1
+	}
+	if m.MaxRuntime == 0 {
+		m.MaxRuntime = 48 * 3600
+	}
+	if m.ArrivalCV == 0 {
+		m.ArrivalCV = 1
+	}
+	return m
+}
+
+// Validate reports the first problem with the model.
+func (m Model) Validate() error {
+	m = m.withDefaults()
+	switch {
+	case m.CPUs < 1:
+		return fmt.Errorf("wgen: %s: CPUs %d", m.Name, m.CPUs)
+	case m.Jobs < 1:
+		return fmt.Errorf("wgen: %s: Jobs %d", m.Name, m.Jobs)
+	case m.Load <= 0:
+		return fmt.Errorf("wgen: %s: Load %v must be positive", m.Name, m.Load)
+	case m.MinProcs > m.MaxProcs || m.MaxProcs > m.CPUs:
+		return fmt.Errorf("wgen: %s: size bounds [%d,%d] invalid for %d CPUs", m.Name, m.MinProcs, m.MaxProcs, m.CPUs)
+	case m.SerialFrac < 0 || m.SerialFrac > 1:
+		return fmt.Errorf("wgen: %s: SerialFrac %v", m.Name, m.SerialFrac)
+	case m.ArrivalCV <= 0:
+		return fmt.Errorf("wgen: %s: ArrivalCV %v", m.Name, m.ArrivalCV)
+	case m.DailyCycle < 0 || m.DailyCycle >= 1:
+		return fmt.Errorf("wgen: %s: DailyCycle %v out of [0,1)", m.Name, m.DailyCycle)
+	case m.Users < 0:
+		return fmt.Errorf("wgen: %s: negative Users %d", m.Name, m.Users)
+	case m.BetaMin < 0 || m.BetaMax > 1 || m.BetaMin > m.BetaMax:
+		return fmt.Errorf("wgen: %s: per-job beta range [%v,%v] invalid", m.Name, m.BetaMin, m.BetaMax)
+	}
+	return nil
+}
+
+// Generate builds the trace. The same model (including seed) always
+// produces the identical trace.
+func Generate(m Model) (*workload.Trace, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	m = m.withDefaults()
+	rng := stats.NewRNG(m.Seed)
+	tr := &workload.Trace{Name: m.Name, CPUs: m.CPUs}
+
+	// First pass: draw sizes, runtimes and estimates; accumulate demand.
+	var drawUser func() int
+	if m.Users > 0 {
+		skew := m.UserSkew
+		if skew == 0 {
+			skew = 1.5
+		}
+		drawUser = rng.Zipf(skew, m.Users)
+	}
+	demand := 0.0 // CPU·seconds
+	for i := 0; i < m.Jobs; i++ {
+		procs := m.drawProcs(rng)
+		rt := m.drawRuntime(rng)
+		req := m.drawRequest(rng, rt)
+		j := &workload.Job{
+			ID: i + 1, Procs: procs, Runtime: rt, ReqTime: req, Beta: -1, User: -1,
+		}
+		if drawUser != nil {
+			j.User = drawUser()
+		}
+		if m.BetaMax > 0 {
+			j.Beta = rng.Uniform(m.BetaMin, m.BetaMax)
+		}
+		tr.Jobs = append(tr.Jobs, j)
+		demand += float64(procs) * rt
+	}
+
+	// Second pass: spread arrivals over a span that realizes the target
+	// load. Gamma-distributed gap weights give the requested burstiness.
+	span := demand / (float64(m.CPUs) * m.Load)
+	gaps := make([]float64, m.Jobs-1)
+	sum := 0.0
+	shape := 1 / (m.ArrivalCV * m.ArrivalCV)
+	for i := range gaps {
+		gaps[i] = rng.Gamma(shape, 1)
+		sum += gaps[i]
+	}
+	t := 0.0
+	for i := 1; i < m.Jobs; i++ {
+		if sum > 0 {
+			t += gaps[i-1] / sum * span
+		}
+		tr.Jobs[i].Submit = t
+	}
+	if m.DailyCycle > 0 {
+		applyDailyCycle(tr, m.DailyCycle, span)
+	}
+	tr.SortBySubmit()
+	return tr, nil
+}
+
+// drawProcs samples the processor count. When SerialFrac is set it alone
+// decides the share of 1-processor jobs; the parallel branch then floors
+// at 2 so the lognormal tail cannot inflate the serial population.
+func (m Model) drawProcs(r *stats.RNG) int {
+	if m.SerialFrac > 0 && r.Bernoulli(m.SerialFrac) {
+		return 1
+	}
+	lo := m.MinProcs
+	if m.SerialFrac > 0 && lo < 2 {
+		lo = 2
+	}
+	v := r.Lognormal(m.SizeLogMean, m.SizeLogSigma)
+	if r.Bernoulli(m.Pow2Frac) {
+		v = math.Pow(2, math.Round(math.Log2(math.Max(v, 1))))
+	}
+	p := int(math.Round(v))
+	if p < lo {
+		p = lo
+	}
+	if p > m.MaxProcs {
+		p = m.MaxProcs
+	}
+	return p
+}
+
+// drawRuntime samples the execution time at the top frequency.
+func (m Model) drawRuntime(r *stats.RNG) float64 {
+	var rt float64
+	if m.ShortFrac > 0 && r.Bernoulli(m.ShortFrac) {
+		rt = r.Exp(m.ShortMean)
+	} else {
+		rt = r.Lognormal(m.RtLogMean, m.RtLogSigma)
+	}
+	return clamp(rt, m.MinRuntime, m.MaxRuntime)
+}
+
+// drawRequest samples the user estimate for a job of the given runtime.
+// Estimates overestimate heavily and cluster on round values, following
+// the well-known PWA estimate pathologies.
+func (m Model) drawRequest(r *stats.RNG, rt float64) float64 {
+	if r.Bernoulli(m.AccurateFrac) {
+		return roundUpNice(rt * 1.05)
+	}
+	factor := 1 + r.Exp(m.OverestMean)
+	if factor > 10 {
+		factor = 10
+	}
+	return roundUpNice(rt * factor)
+}
+
+// roundUpNice rounds an estimate up to values users actually type:
+// multiples of 5 minutes below one hour, of 30 minutes below 6 hours, and
+// of 2 hours above.
+func roundUpNice(sec float64) float64 {
+	var step float64
+	switch {
+	case sec <= 3600:
+		step = 300
+	case sec <= 6*3600:
+		step = 1800
+	default:
+		step = 7200
+	}
+	return math.Ceil(sec/step) * step
+}
+
+// applyDailyCycle stretches night-time gaps and compresses day-time gaps,
+// then rescales so the span (and hence the load) is preserved.
+func applyDailyCycle(tr *workload.Trace, amplitude, span float64) {
+	n := len(tr.Jobs)
+	if n < 2 {
+		return
+	}
+	gaps := make([]float64, n-1)
+	sum := 0.0
+	for i := 1; i < n; i++ {
+		gap := tr.Jobs[i].Submit - tr.Jobs[i-1].Submit
+		// Arrival rate peaks mid-day: rate(t) = 1 + A·sin(2πt/day).
+		rate := 1 + amplitude*math.Sin(2*math.Pi*tr.Jobs[i].Submit/86400)
+		gaps[i-1] = gap / rate
+		sum += gaps[i-1]
+	}
+	scale := span / sum
+	t := 0.0
+	for i := 1; i < n; i++ {
+		t += gaps[i-1] * scale
+		tr.Jobs[i].Submit = t
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,18 @@
+package wgen
+
+import "testing"
+
+// BenchmarkGenerate measures synthetic trace generation throughput.
+func BenchmarkGenerate(b *testing.B) {
+	for _, m := range Presets() {
+		b.Run(m.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Generate(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(m.Jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}

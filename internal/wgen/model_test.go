@@ -1,0 +1,215 @@
+package wgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func smallModel() Model {
+	m := CTC()
+	m.Jobs = 500
+	return m
+}
+
+func TestGenerateValidTrace(t *testing.T) {
+	tr, err := Generate(smallModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if len(tr.Jobs) != 500 {
+		t.Errorf("jobs = %d, want 500", len(tr.Jobs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		x, y := a.Jobs[i], b.Jobs[i]
+		if x.Submit != y.Submit || x.Runtime != y.Runtime || x.Procs != y.Procs || x.ReqTime != y.ReqTime {
+			t.Fatalf("job %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesTrace(t *testing.T) {
+	m1, m2 := smallModel(), smallModel()
+	m2.Seed++
+	a, _ := Generate(m1)
+	b, _ := Generate(m2)
+	same := 0
+	for i := range a.Jobs {
+		if a.Jobs[i].Runtime == b.Jobs[i].Runtime {
+			same++
+		}
+	}
+	if same == len(a.Jobs) {
+		t.Error("different seeds produced identical runtimes")
+	}
+}
+
+func TestGenerateHitsTargetLoad(t *testing.T) {
+	for _, m := range Presets() {
+		m.Jobs = 2000
+		tr, err := Generate(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		st := tr.ComputeStats()
+		if math.Abs(st.Utilization-m.Load)/m.Load > 0.02 {
+			t.Errorf("%s: utilization %v, want %v (±2%%)", m.Name, st.Utilization, m.Load)
+		}
+	}
+}
+
+func TestGenerateArrivalsSorted(t *testing.T) {
+	tr, err := Generate(smallModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tr.Jobs); i++ {
+		if tr.Jobs[i].Submit < tr.Jobs[i-1].Submit {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+	if tr.Jobs[0].Submit != 0 {
+		t.Errorf("first submit = %v, want 0", tr.Jobs[0].Submit)
+	}
+}
+
+func TestRequestAtLeastRuntimeRounded(t *testing.T) {
+	tr, err := Generate(smallModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if j.ReqTime < j.Runtime*0.99 {
+			t.Fatalf("job %d requested %v < runtime %v", j.ID, j.ReqTime, j.Runtime)
+		}
+	}
+}
+
+func TestSDSCBlueNoSerialMinEight(t *testing.T) {
+	m := SDSCBlue()
+	m.Jobs = 1000
+	tr, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if j.Procs < 8 {
+			t.Fatalf("SDSCBlue job %d has %d < 8 processors", j.ID, j.Procs)
+		}
+	}
+}
+
+func TestCTCHasManySerialJobs(t *testing.T) {
+	m := CTC()
+	m.Jobs = 2000
+	tr, _ := Generate(m)
+	st := tr.ComputeStats()
+	if st.SerialShare < 0.25 || st.SerialShare > 0.45 {
+		t.Errorf("CTC serial share = %v, want ≈0.35", st.SerialShare)
+	}
+}
+
+func TestThunderMostlyShortJobs(t *testing.T) {
+	m := LLNLThunder()
+	m.Jobs = 2000
+	tr, _ := Generate(m)
+	short := 0
+	for _, j := range tr.Jobs {
+		if j.Runtime < 600 {
+			short++
+		}
+	}
+	if frac := float64(short) / float64(len(tr.Jobs)); frac < 0.30 {
+		t.Errorf("Thunder short-job fraction = %v, want ≥ 0.30", frac)
+	}
+}
+
+func TestPresetLookup(t *testing.T) {
+	for _, name := range []string{"CTC", "sdsc", "SDSCBlue", "llnlthunder", "LLNLAtlas"} {
+		if _, err := Preset(name); err != nil {
+			t.Errorf("Preset(%q): %v", name, err)
+		}
+	}
+	if _, err := Preset("nosuch"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestPresetSystemSizesMatchPaper(t *testing.T) {
+	want := map[string]int{
+		"CTC": 430, "SDSC": 128, "SDSCBlue": 1152,
+		"LLNLThunder": 4008, "LLNLAtlas": 9216,
+	}
+	for _, m := range Presets() {
+		if m.CPUs != want[m.Name] {
+			t.Errorf("%s CPUs = %d, want %d", m.Name, m.CPUs, want[m.Name])
+		}
+		if m.Jobs != StandardJobs {
+			t.Errorf("%s jobs = %d, want %d", m.Name, m.Jobs, StandardJobs)
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	base := CTC()
+	mutations := []func(*Model){
+		func(m *Model) { m.CPUs = 0 },
+		func(m *Model) { m.Jobs = 0 },
+		func(m *Model) { m.Load = 0 },
+		func(m *Model) { m.Load = -1 },
+		func(m *Model) { m.MinProcs = 600; m.MaxProcs = 500 },
+		func(m *Model) { m.MaxProcs = base.CPUs + 1 },
+		func(m *Model) { m.SerialFrac = 1.5 },
+		func(m *Model) { m.ArrivalCV = -1 },
+		func(m *Model) { m.DailyCycle = 1 },
+	}
+	for i, mut := range mutations {
+		m := CTC()
+		mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDailyCyclePreservesLoad(t *testing.T) {
+	m := smallModel()
+	m.DailyCycle = 0.5
+	tr, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.ComputeStats()
+	if math.Abs(st.Utilization-m.Load)/m.Load > 0.02 {
+		t.Errorf("utilization with daily cycle = %v, want %v", st.Utilization, m.Load)
+	}
+}
+
+func TestRoundUpNice(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{100, 300}, {300, 300}, {301, 600}, {3600, 3600},
+		{3700, 5400}, {20000, 21600}, {25000, 28800},
+	}
+	for _, c := range cases {
+		if got := roundUpNice(c.in); got != c.want {
+			t.Errorf("roundUpNice(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+var _ = workload.Trace{} // keep the import for documentation examples

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The Standard Workload Format (SWF) of the Parallel Workload Archive
+// stores one job per line with 18 whitespace-separated fields. The fields
+// relevant to scheduling simulation are:
+//
+//	 1  job number
+//	 2  submit time (s)
+//	 3  wait time (s)           — ignored on input (an output of scheduling)
+//	 4  run time (s)
+//	 5  number of allocated processors
+//	 8  requested number of processors
+//	 9  requested time (s)
+//	11  status
+//
+// Missing values are encoded as -1. Comment and header lines start with
+// ';'. Header directives of the form "; MaxProcs: N" carry the system size.
+
+// ParseSWF reads a trace in Standard Workload Format. The system size is
+// taken from the MaxProcs header when present; otherwise cpus must be
+// supplied by the caller (pass 0 to require the header). Jobs with
+// non-positive runtime or processor counts are skipped, mirroring the
+// "cleaned" traces the paper uses.
+func ParseSWF(r io.Reader, name string, cpus int) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	tr := &Trace{Name: name, CPUs: cpus}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			if v, ok := swfHeaderInt(line, "MaxProcs"); ok {
+				tr.CPUs = v
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 9 {
+			return nil, fmt.Errorf("workload: swf line %d has %d fields, want >= 9", lineNo, len(fields))
+		}
+		vals := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: swf line %d field %d: %v", lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		job := &Job{
+			ID:      int(vals[0]),
+			Submit:  vals[1],
+			Runtime: vals[3],
+			Beta:    -1,
+			User:    -1,
+		}
+		if len(vals) >= 12 && vals[11] >= 0 {
+			job.User = int(vals[11]) // field 12: user ID
+		}
+		// Processors: prefer the requested count (field 8) when valid,
+		// else the allocated count (field 5), following PWA conventions.
+		procs := int(vals[7])
+		if procs <= 0 {
+			procs = int(vals[4])
+		}
+		job.Procs = procs
+		// Requested time: field 9; fall back to the actual runtime when
+		// the estimate is missing.
+		job.ReqTime = vals[8]
+		if job.ReqTime <= 0 {
+			job.ReqTime = job.Runtime
+		}
+		if job.Procs <= 0 || job.Runtime <= 0 || job.ReqTime <= 0 || job.Submit < 0 {
+			continue // cleaned out, like flurry removal in PWA cleaned logs
+		}
+		tr.Jobs = append(tr.Jobs, job)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading swf: %w", err)
+	}
+	if tr.CPUs <= 0 {
+		return nil, fmt.Errorf("workload: swf trace %q has no MaxProcs header and no explicit system size", name)
+	}
+	tr.SortBySubmit()
+	return tr, nil
+}
+
+func swfHeaderInt(line, key string) (int, bool) {
+	rest := strings.TrimLeft(line, "; \t")
+	if !strings.HasPrefix(rest, key) {
+		return 0, false
+	}
+	rest = strings.TrimPrefix(rest, key)
+	rest = strings.TrimLeft(rest, ": \t")
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return 0, false
+	}
+	v, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// WriteSWF writes the trace in Standard Workload Format, including a
+// MaxProcs header, so generated traces can be consumed by other SWF tools.
+func WriteSWF(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; SWF trace %s\n", t.Name)
+	fmt.Fprintf(bw, "; MaxProcs: %d\n", t.CPUs)
+	fmt.Fprintf(bw, "; MaxJobs: %d\n", len(t.Jobs))
+	for _, j := range t.Jobs {
+		// job submit wait run procs avgcpu mem reqprocs reqtime reqmem
+		// status uid gid exe queue partition prevjob thinktime
+		if _, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 1 %d -1 -1 -1 -1 -1 -1\n",
+			j.ID, int64(j.Submit), int64(j.Runtime+0.5), j.Procs, j.Procs,
+			int64(j.ReqTime+0.5), j.User); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

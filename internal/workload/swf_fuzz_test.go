@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSWF hardens the trace reader against arbitrary input: it must
+// either return an error or a structurally valid trace, never panic, and
+// surviving traces must round-trip through the writer.
+func FuzzParseSWF(f *testing.F) {
+	f.Add(sampleSWF, 64)
+	f.Add("; MaxProcs: 8\n1 0 -1 10 2 -1 -1 2 20 -1 1 5 -1 -1 -1 -1 -1 -1\n", 0)
+	f.Add("", 16)
+	f.Add("; comment only\n", 4)
+	f.Add("1 2 3\n", 4)
+	f.Add("1 0 -1 1e300 1 -1 -1 1 1e300 -1 1 -1 -1 -1 -1 -1 -1 -1\n", 2)
+	f.Add("1 -5 -1 10 1 -1 -1 1 20 -1 1 -1 -1 -1 -1 -1 -1 -1\n", 2)
+	f.Fuzz(func(t *testing.T, input string, cpus int) {
+		tr, err := ParseSWF(strings.NewReader(input), "fuzz", cpus)
+		if err != nil {
+			return
+		}
+		if tr.CPUs <= 0 {
+			t.Fatalf("accepted trace with %d CPUs", tr.CPUs)
+		}
+		for _, j := range tr.Jobs {
+			if j.Procs <= 0 || j.Runtime <= 0 || j.ReqTime <= 0 || j.Submit < 0 {
+				t.Fatalf("accepted invalid job %+v", j)
+			}
+		}
+		// Arrival order must hold.
+		for i := 1; i < len(tr.Jobs); i++ {
+			if tr.Jobs[i].Submit < tr.Jobs[i-1].Submit {
+				t.Fatal("jobs not sorted by submit")
+			}
+		}
+		// Round-trip: writing and re-reading keeps the job count (the
+		// writer rounds fractional seconds; zero-rounded runtimes may be
+		// cleaned, so only an upper bound holds).
+		var buf bytes.Buffer
+		if err := WriteSWF(&buf, tr); err != nil {
+			t.Fatalf("WriteSWF of accepted trace: %v", err)
+		}
+		back, err := ParseSWF(&buf, "fuzz2", tr.CPUs)
+		if err != nil {
+			t.Fatalf("re-parse of written trace: %v", err)
+		}
+		if len(back.Jobs) > len(tr.Jobs) {
+			t.Fatalf("round trip grew jobs: %d -> %d", len(tr.Jobs), len(back.Jobs))
+		}
+	})
+}

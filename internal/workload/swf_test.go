@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleSWF = `; Sample workload
+; MaxProcs: 64
+; MaxJobs: 4
+1 0 -1 120 4 -1 -1 4 300 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 60 -1 600 -1 -1 -1 8 900 -1 1 -1 -1 -1 -1 -1 -1 -1
+3 90 -1 -1 2 -1 -1 2 100 -1 0 -1 -1 -1 -1 -1 -1 -1
+4 120 -1 50 1 -1 -1 -1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+`
+
+func TestParseSWF(t *testing.T) {
+	tr, err := ParseSWF(strings.NewReader(sampleSWF), "sample", 0)
+	if err != nil {
+		t.Fatalf("ParseSWF: %v", err)
+	}
+	if tr.CPUs != 64 {
+		t.Errorf("CPUs = %d, want 64 from MaxProcs header", tr.CPUs)
+	}
+	// Job 3 has runtime -1 and must be cleaned out.
+	if len(tr.Jobs) != 3 {
+		t.Fatalf("parsed %d jobs, want 3", len(tr.Jobs))
+	}
+	j1 := tr.Jobs[0]
+	if j1.ID != 1 || j1.Submit != 0 || j1.Runtime != 120 || j1.Procs != 4 || j1.ReqTime != 300 {
+		t.Errorf("job 1 = %+v", j1)
+	}
+	// Job 2: requested procs (field 8) preferred over allocated (-1).
+	if tr.Jobs[1].Procs != 8 {
+		t.Errorf("job 2 procs = %d, want 8", tr.Jobs[1].Procs)
+	}
+	// Job 4: no requested procs -> allocated; no requested time -> runtime.
+	j4 := tr.Jobs[2]
+	if j4.Procs != 1 || j4.ReqTime != 50 {
+		t.Errorf("job 4 = %+v, want procs=1 reqtime=50", j4)
+	}
+}
+
+func TestParseSWFExplicitCPUs(t *testing.T) {
+	in := "1 0 -1 10 2 -1 -1 2 20 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+	tr, err := ParseSWF(strings.NewReader(in), "x", 16)
+	if err != nil {
+		t.Fatalf("ParseSWF: %v", err)
+	}
+	if tr.CPUs != 16 {
+		t.Errorf("CPUs = %d, want 16 from argument", tr.CPUs)
+	}
+}
+
+func TestParseSWFNoSystemSize(t *testing.T) {
+	in := "1 0 -1 10 2 -1 -1 2 20 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+	if _, err := ParseSWF(strings.NewReader(in), "x", 0); err == nil {
+		t.Error("expected error when system size is unknown")
+	}
+}
+
+func TestParseSWFMalformed(t *testing.T) {
+	cases := []string{
+		"1 2 3\n",                  // too few fields
+		"a b c d e f g h i\n",      // non-numeric
+		"1 0 -1 10 x -1 -1 2 20\n", // non-numeric field
+	}
+	for _, in := range cases {
+		if _, err := ParseSWF(strings.NewReader(in), "bad", 8); err == nil {
+			t.Errorf("malformed input accepted: %q", in)
+		}
+	}
+}
+
+func TestParseSWFSortsBySubmit(t *testing.T) {
+	in := `; MaxProcs: 8
+2 100 -1 10 1 -1 -1 1 20 -1 1 -1 -1 -1 -1 -1 -1 -1
+1 50 -1 10 1 -1 -1 1 20 -1 1 -1 -1 -1 -1 -1 -1 -1
+`
+	tr, err := ParseSWF(strings.NewReader(in), "x", 0)
+	if err != nil {
+		t.Fatalf("ParseSWF: %v", err)
+	}
+	if tr.Jobs[0].ID != 1 {
+		t.Error("jobs not sorted by submit time")
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "rt", CPUs: 32, Jobs: []*Job{
+		{ID: 1, Submit: 0, Runtime: 100, Procs: 4, ReqTime: 200, Beta: -1},
+		{ID: 2, Submit: 3600, Runtime: 7200, Procs: 16, ReqTime: 7200, Beta: -1},
+	}}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, orig); err != nil {
+		t.Fatalf("WriteSWF: %v", err)
+	}
+	got, err := ParseSWF(&buf, "rt", 0)
+	if err != nil {
+		t.Fatalf("ParseSWF: %v", err)
+	}
+	if got.CPUs != orig.CPUs {
+		t.Errorf("CPUs = %d, want %d", got.CPUs, orig.CPUs)
+	}
+	if len(got.Jobs) != len(orig.Jobs) {
+		t.Fatalf("jobs = %d, want %d", len(got.Jobs), len(orig.Jobs))
+	}
+	for i, j := range got.Jobs {
+		o := orig.Jobs[i]
+		if j.ID != o.ID || j.Submit != o.Submit || j.Runtime != o.Runtime ||
+			j.Procs != o.Procs || j.ReqTime != o.ReqTime {
+			t.Errorf("job %d = %+v, want %+v", i, j, o)
+		}
+	}
+}
+
+func TestSWFHeaderParsing(t *testing.T) {
+	if v, ok := swfHeaderInt("; MaxProcs: 128", "MaxProcs"); !ok || v != 128 {
+		t.Errorf("header parse = %d,%v", v, ok)
+	}
+	if v, ok := swfHeaderInt(";MaxProcs:64", "MaxProcs"); !ok || v != 64 {
+		t.Errorf("compact header parse = %d,%v", v, ok)
+	}
+	if _, ok := swfHeaderInt("; Computer: IBM SP2", "MaxProcs"); ok {
+		t.Error("unrelated header matched")
+	}
+	if _, ok := swfHeaderInt("; MaxProcs: lots", "MaxProcs"); ok {
+		t.Error("non-numeric header value accepted")
+	}
+}
