@@ -8,6 +8,7 @@ package repro
 // rows, or use cmd/experiments for the canonical reproduction.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/sched"
+	"repro/internal/sweep"
 	"repro/internal/textplot"
 	"repro/internal/wgen"
 	"repro/internal/workload"
@@ -307,6 +309,61 @@ func BenchmarkSimulatePowerAware(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(5000*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkSweepSerialVsParallel measures the sweep pool's scaling on a
+// realistic slice of the paper grid (2 workloads × 3 policies × 2 machine
+// sizes, 1000-job traces). The parallel case should approach a NumCPU-fold
+// speedup over workers=1 since runs are independent and CPU-bound; results
+// are asserted identical, so the speedup is free of semantic drift.
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	grid := sweep.Grid{
+		Traces: []string{"CTC", "SDSCBlue"},
+		Policies: []sweep.PolicyConfig{
+			{},
+			{BSLDThr: 2, WQThr: 16},
+			{BSLDThr: 3, WQThr: core.NoWQLimit},
+		},
+		SizeFactors: []float64{1, 1.2},
+	}
+	resolver := &sweep.Resolver{Trace: sweep.CachedLoader(func(name string) (*workload.Trace, error) {
+		return benchTrace(b, name, 1000), nil
+	})}
+	var serial []sweep.Result
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // all cores
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var last []sweep.Result
+			for i := 0; i < b.N; i++ {
+				results, err := sweep.Sweep(context.Background(), grid, resolver,
+					&sweep.Pool{Workers: tc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = results
+			}
+			b.ReportMetric(float64(grid.Size())/b.Elapsed().Seconds()*float64(b.N), "runs/s")
+			if tc.workers == 1 {
+				serial = last
+				return
+			}
+			if serial == nil {
+				return // serial case filtered out by -bench
+			}
+			// Determinism check rides along: worker count must not change
+			// a single metric.
+			for i := range last {
+				if last[i].Outcome.Results != serial[i].Outcome.Results {
+					b.Fatalf("parallel result %d differs from serial", i)
+				}
+			}
+		})
+	}
 }
 
 // --- ablations ------------------------------------------------------------

@@ -1,48 +1,68 @@
 // Command calibrate is a development aid: it prints baseline and
 // DVFS-policy metrics for the five workload presets so generator loads can
-// be tuned against the paper's Tables 1 and 3.
+// be tuned against the paper's Tables 1 and 3. The 25-run grid executes
+// in parallel through the sweep pool; output stays in preset order.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"repro/internal/core"
-	"repro/internal/dvfs"
-	"repro/internal/runner"
+	"repro/internal/sweep"
 	"repro/internal/wgen"
+	"repro/internal/workload"
 )
 
 func main() {
-	gears := dvfs.PaperGearSet()
-	tm := dvfs.NewTimeModel(runner.DefaultBeta, gears)
-	for _, m := range wgen.Presets() {
-		tr, err := wgen.Generate(m)
+	presets := wgen.Presets()
+	grid := sweep.Grid{
+		Policies: []sweep.PolicyConfig{
+			{}, // no-DVFS baseline, the normalization denominator
+			{BSLDThr: 1.5, WQThr: 0},
+			{BSLDThr: 2, WQThr: 4},
+			{BSLDThr: 2, WQThr: core.NoWQLimit},
+			{BSLDThr: 3, WQThr: core.NoWQLimit},
+		},
+	}
+	for _, m := range presets {
+		grid.Traces = append(grid.Traces, m.Name)
+	}
+	resolver := &sweep.Resolver{Trace: sweep.CachedLoader(func(name string) (*workload.Trace, error) {
+		m, err := wgen.Preset(name)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		base, err := runner.Run(runner.Spec{Trace: tr})
-		if err != nil {
-			panic(err)
+		return wgen.Generate(m)
+	})}
+	results, err := sweep.Sweep(context.Background(), grid, resolver, nil)
+	if err != nil {
+		fail(err)
+	}
+	perPreset := len(grid.Policies)
+	for i := range presets {
+		rows := results[i*perPreset : (i+1)*perPreset]
+		for _, r := range rows {
+			if r.Err != nil {
+				fail(fmt.Errorf("%s: %w", r.Point.Label(), r.Err))
+			}
 		}
+		base := rows[0].Outcome
 		fmt.Printf("%-12s base: BSLD=%6.2f wait=%7.0f Ecomp=%11.4g\n",
-			m.Name, base.Results.AvgBSLD, base.Results.AvgWait, base.Results.CompEnergy)
-		for _, cfg := range []struct {
-			thr float64
-			wq  int
-		}{{1.5, 0}, {2, 4}, {2, core.NoWQLimit}, {3, core.NoWQLimit}} {
-			pol, err := core.NewPolicy(core.Params{BSLDThreshold: cfg.thr, WQThreshold: cfg.wq}, gears, tm)
-			if err != nil {
-				panic(err)
-			}
-			out, err := runner.Run(runner.Spec{Trace: tr, Policy: pol})
-			if err != nil {
-				panic(err)
-			}
+			rows[0].Point.Trace, base.Results.AvgBSLD, base.Results.AvgWait, base.Results.CompEnergy)
+		for _, r := range rows[1:] {
+			out := r.Outcome
 			fmt.Printf("  %-14s BSLD=%6.2f wait=%7.0f Ecomp=%6.2f%% Elow=%6.2f%% reduced=%4d\n",
-				pol.Name(), out.Results.AvgBSLD, out.Results.AvgWait,
+				out.Policy, out.Results.AvgBSLD, out.Results.AvgWait,
 				100*out.Results.CompEnergy/base.Results.CompEnergy,
 				100*out.Results.TotalEnergyLow/base.Results.TotalEnergyLow,
 				out.Results.ReducedJobs)
 		}
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
 }

@@ -8,4 +8,12 @@
 // and figure of the paper (bench_test.go); the implementation lives under
 // internal/ (see DESIGN.md for the system inventory) and the runnable
 // entry points under cmd/ and examples/.
+//
+// Parameter studies — the paper's headline results are sweeps over BSLD
+// threshold × machine size × workload — run through internal/sweep: a
+// declarative Grid expands to a deterministic ordered run list and a Pool
+// executes it across all cores with byte-identical output regardless of
+// worker count. The experiments suite, cmd/calibrate and the standalone
+// cmd/sweep CLI (JSON/flag-defined grids, CSV or JSON results) all drive
+// their simulations through that pool.
 package repro

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dvfs"
+	"repro/internal/sweep"
 	"repro/internal/textplot"
 )
 
@@ -84,14 +85,36 @@ func Table2() textplot.Table {
 	return t
 }
 
-// policyGrid enumerates the Figures 3–5 grid in presentation order.
-func policyGrid() []Config {
-	var cfgs []Config
-	for _, w := range Workloads() {
-		for _, thr := range BSLDThresholds() {
-			for _, wq := range WQThresholds() {
-				cfgs = append(cfgs, Config{Workload: w, BSLDThr: thr, WQThr: wq, SizeFactor: 1})
-			}
+// PaperGrid declares the Figures 3–5 study — workload × BSLD threshold ×
+// WQ threshold at the original machine size — as a sweep grid.
+func PaperGrid() sweep.Grid {
+	return sweep.Grid{Traces: Workloads(), Policies: PaperPolicies()}
+}
+
+// EnlargedGrid declares the Figures 7–9 / Table 3 study: every workload
+// on enlarged machines at BSLDthreshold 2 for both WQ extremes.
+func EnlargedGrid() sweep.Grid {
+	return sweep.Grid{
+		Traces: Workloads(),
+		Policies: []sweep.PolicyConfig{
+			{BSLDThr: 2, WQThr: 0},
+			{BSLDThr: 2, WQThr: core.NoWQLimit},
+		},
+		SizeFactors: SizeFactors(),
+	}
+}
+
+// configsOf converts a sweep grid's points into suite cache keys, in
+// expansion order.
+func configsOf(g sweep.Grid) []Config {
+	pts := g.Points()
+	cfgs := make([]Config, len(pts))
+	for i, p := range pts {
+		cfgs[i] = Config{
+			Workload:   p.Trace,
+			BSLDThr:    p.Policy.BSLDThr,
+			WQThr:      p.Policy.WQThr,
+			SizeFactor: p.SizeFactor,
 		}
 	}
 	return cfgs

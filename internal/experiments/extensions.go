@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/altpolicy"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/textplot"
 	"repro/internal/wgen"
 	"repro/internal/workload"
@@ -19,7 +21,9 @@ import (
 // the paper names as future work (§7), the per-job β analysis it plans
 // (§7), and a node power-down baseline from its related work (§6). They
 // run outside the Suite's cached grid because they vary knobs the grid
-// does not expose.
+// does not expose; each builds its spec list up front and executes it
+// through the sweep pool, so every table fills at full core count while
+// the rendered rows stay in presentation order.
 
 // extTrace generates the workload at the suite's segment length.
 func extTrace(s *Suite, name string) (runner.Spec, error) {
@@ -35,6 +39,29 @@ func extPolicy(params core.Params) (sched.GearPolicy, error) {
 	return core.NewPolicy(params, gears, dvfs.NewTimeModel(runner.DefaultBeta, gears))
 }
 
+// runAll executes the specs across the sweep pool and returns outcomes in
+// spec order; the first per-run failure aborts. Runs execute concurrently,
+// so a stateful gear policy (a sched.SystemBinder) must not be shared
+// between specs — stateless policies like core.Policy may be.
+func runAll(specs []runner.Spec) ([]runner.Outcome, error) {
+	runs := make([]sweep.Run, len(specs))
+	for i, sp := range specs {
+		runs[i] = sweep.Run{Point: sweep.Point{Index: i}, Spec: sp}
+	}
+	results, err := (&sweep.Pool{}).Execute(context.Background(), runs)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]runner.Outcome, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		outs[i] = r.Outcome
+	}
+	return outs, nil
+}
+
 // ExtBoost compares the paper's future-work extension — dynamically
 // raising running reduced jobs to Ftop when the queue exceeds a bound —
 // against the static assignment, at (BSLDthr=2, WQ=NO).
@@ -45,17 +72,13 @@ func ExtBoost(s *Suite) (textplot.Table, error) {
 			"BSLD off", "BSLD on"},
 		Note: "energy = computational, normalized to no-DVFS; boost trades some savings for shorter queues",
 	}
+	var specs []runner.Spec
 	for _, w := range Workloads() {
 		spec, err := extTrace(s, w)
 		if err != nil {
 			return t, err
 		}
-		base, err := runner.Run(spec)
-		if err != nil {
-			return t, err
-		}
-		row := []string{w}
-		var energies, waits, bslds []string
+		specs = append(specs, spec)
 		for _, boost := range []bool{false, true} {
 			pol, err := extPolicy(core.Params{
 				BSLDThreshold: 2, WQThreshold: core.NoWQLimit,
@@ -66,16 +89,20 @@ func ExtBoost(s *Suite) (textplot.Table, error) {
 			}
 			run := spec
 			run.Policy = pol
-			out, err := runner.Run(run)
-			if err != nil {
-				return t, err
-			}
-			energies = append(energies, pct(out.Results.CompEnergy/base.Results.CompEnergy))
-			waits = append(waits, sec0(out.Results.AvgWait))
-			bslds = append(bslds, f2(out.Results.AvgBSLD))
+			specs = append(specs, run)
 		}
-		row = append(row, energies[0], energies[1], waits[0], waits[1], bslds[0], bslds[1])
-		t.AddRow(row...)
+	}
+	outs, err := runAll(specs)
+	if err != nil {
+		return t, err
+	}
+	for i, w := range Workloads() {
+		base, off, on := outs[3*i], outs[3*i+1], outs[3*i+2]
+		t.AddRow(w,
+			pct(off.Results.CompEnergy/base.Results.CompEnergy),
+			pct(on.Results.CompEnergy/base.Results.CompEnergy),
+			sec0(off.Results.AvgWait), sec0(on.Results.AvgWait),
+			f2(off.Results.AvgBSLD), f2(on.Results.AvgBSLD))
 	}
 	return t, nil
 }
@@ -89,6 +116,13 @@ func ExtPerJobBeta(s *Suite) (textplot.Table, error) {
 		Header: []string{"Workload", "energy β=0.5", "energy β~U[0.2,0.8]", "BSLD β=0.5", "BSLD β~U"},
 		Note:   "per-job β keeps the mean dilation but lets the policy favour jobs with low penalty",
 	}
+	pol, err := extPolicy(core.Params{BSLDThreshold: 2, WQThreshold: core.NoWQLimit})
+	if err != nil {
+		return t, err
+	}
+	// Four runs per workload: baseline and policy on the uniform-β trace,
+	// then on the per-job-β trace.
+	var specs []runner.Spec
 	for _, w := range Workloads() {
 		model, err := wgen.Preset(w)
 		if err != nil {
@@ -104,21 +138,20 @@ func ExtPerJobBeta(s *Suite) (textplot.Table, error) {
 		if err != nil {
 			return t, err
 		}
-		pol, err := extPolicy(core.Params{BSLDThreshold: 2, WQThreshold: core.NoWQLimit})
-		if err != nil {
-			return t, err
-		}
-		// Run both traces through identical baseline/policy pairs.
-		var energies, bslds []string
 		for _, trace := range []*workload.Trace{uniform, perJob} {
-			base, err := runner.Run(runner.Spec{Trace: trace})
-			if err != nil {
-				return t, err
-			}
-			out, err := runner.Run(runner.Spec{Trace: trace, Policy: pol})
-			if err != nil {
-				return t, err
-			}
+			specs = append(specs,
+				runner.Spec{Trace: trace},
+				runner.Spec{Trace: trace, Policy: pol})
+		}
+	}
+	outs, err := runAll(specs)
+	if err != nil {
+		return t, err
+	}
+	for i, w := range Workloads() {
+		var energies, bslds []string
+		for k := 0; k < 2; k++ {
+			base, out := outs[4*i+2*k], outs[4*i+2*k+1]
 			energies = append(energies, pct(out.Results.CompEnergy/base.Results.CompEnergy))
 			bslds = append(bslds, f2(out.Results.AvgBSLD))
 		}
@@ -139,12 +172,9 @@ func ExtPolicyComparison(s *Suite) (textplot.Table, error) {
 		Note: "utilization-driven reduces on an idle machine regardless of the job's slowdown outlook",
 	}
 	gears := dvfs.PaperGearSet()
+	var specs []runner.Spec
 	for _, w := range Workloads() {
 		spec, err := extTrace(s, w)
-		if err != nil {
-			return t, err
-		}
-		base, err := runner.Run(spec)
 		if err != nil {
 			return t, err
 		}
@@ -152,22 +182,30 @@ func ExtPolicyComparison(s *Suite) (textplot.Table, error) {
 		if err != nil {
 			return t, err
 		}
+		// The utilization policy binds to its system, so each concurrent
+		// run needs a fresh instance.
 		utilPol, err := altpolicy.NewUtilizationDriven(gears, 0.3, 0.9)
 		if err != nil {
 			return t, err
 		}
-		var energies, bslds []string
+		specs = append(specs, spec)
 		for _, pol := range []sched.GearPolicy{bsldPol, utilPol} {
 			run := spec
 			run.Policy = pol
-			out, err := runner.Run(run)
-			if err != nil {
-				return t, err
-			}
-			energies = append(energies, pct(out.Results.CompEnergy/base.Results.CompEnergy))
-			bslds = append(bslds, f2(out.Results.AvgBSLD))
+			specs = append(specs, run)
 		}
-		t.AddRow(w, energies[0], energies[1], bslds[0], bslds[1], f2(base.Results.AvgBSLD))
+	}
+	outs, err := runAll(specs)
+	if err != nil {
+		return t, err
+	}
+	for i, w := range Workloads() {
+		base, bsldOut, utilOut := outs[3*i], outs[3*i+1], outs[3*i+2]
+		t.AddRow(w,
+			pct(bsldOut.Results.CompEnergy/base.Results.CompEnergy),
+			pct(utilOut.Results.CompEnergy/base.Results.CompEnergy),
+			f2(bsldOut.Results.AvgBSLD), f2(utilOut.Results.AvgBSLD),
+			f2(base.Results.AvgBSLD))
 	}
 	return t, nil
 }
@@ -199,6 +237,7 @@ func ExtEstimateQuality(s *Suite, workloadName string) (textplot.Table, error) {
 		{"default", func(m *wgen.Model) {}},
 		{"sloppy", func(m *wgen.Model) { m.OverestMean *= 3 }},
 	}
+	var specs []runner.Spec
 	for _, v := range variants {
 		m := model
 		v.mutate(&m)
@@ -206,14 +245,16 @@ func ExtEstimateQuality(s *Suite, workloadName string) (textplot.Table, error) {
 		if err != nil {
 			return t, err
 		}
-		base, err := runner.Run(runner.Spec{Trace: tr})
-		if err != nil {
-			return t, err
-		}
-		out, err := runner.Run(runner.Spec{Trace: tr, Policy: pol})
-		if err != nil {
-			return t, err
-		}
+		specs = append(specs,
+			runner.Spec{Trace: tr},
+			runner.Spec{Trace: tr, Policy: pol})
+	}
+	outs, err := runAll(specs)
+	if err != nil {
+		return t, err
+	}
+	for i, v := range variants {
+		base, out := outs[2*i], outs[2*i+1]
 		t.AddRow(v.name,
 			pct(out.Results.CompEnergy/base.Results.CompEnergy),
 			f2(out.Results.AvgBSLD), f2(base.Results.AvgBSLD),
@@ -239,16 +280,20 @@ func ExtLoadSweep(s *Suite, workloadName string) (textplot.Table, error) {
 	if err != nil {
 		return t, err
 	}
-	for _, factor := range []float64{0.6, 0.8, 1.0, 1.2, 1.4} {
+	factors := []float64{0.6, 0.8, 1.0, 1.2, 1.4}
+	var specs []runner.Spec
+	for _, factor := range factors {
 		scaled := workload.ScaleLoad(tr, factor)
-		base, err := runner.Run(runner.Spec{Trace: scaled})
-		if err != nil {
-			return t, err
-		}
-		out, err := runner.Run(runner.Spec{Trace: scaled, Policy: pol})
-		if err != nil {
-			return t, err
-		}
+		specs = append(specs,
+			runner.Spec{Trace: scaled},
+			runner.Spec{Trace: scaled, Policy: pol})
+	}
+	outs, err := runAll(specs)
+	if err != nil {
+		return t, err
+	}
+	for i, factor := range factors {
+		base, out := outs[2*i], outs[2*i+1]
 		t.AddRow(fmt.Sprintf("%.1f", factor),
 			f2(base.Results.Utilization),
 			pct(out.Results.CompEnergy/base.Results.CompEnergy),
@@ -276,13 +321,13 @@ func ExtSeedSensitivity(s *Suite, replicas int) (textplot.Table, error) {
 	if err != nil {
 		return t, err
 	}
+	var specs []runner.Spec
 	for _, w := range Workloads() {
 		model, err := wgen.Preset(w)
 		if err != nil {
 			return t, err
 		}
 		model.Jobs = s.jobs
-		var baseB, savings, penalty stats.Summary
 		for r := 0; r < replicas; r++ {
 			m := model
 			m.Seed = model.Seed + int64(r)*7919 // deterministic distinct seeds
@@ -290,14 +335,19 @@ func ExtSeedSensitivity(s *Suite, replicas int) (textplot.Table, error) {
 			if err != nil {
 				return t, err
 			}
-			base, err := runner.Run(runner.Spec{Trace: tr})
-			if err != nil {
-				return t, err
-			}
-			out, err := runner.Run(runner.Spec{Trace: tr, Policy: pol})
-			if err != nil {
-				return t, err
-			}
+			specs = append(specs,
+				runner.Spec{Trace: tr},
+				runner.Spec{Trace: tr, Policy: pol})
+		}
+	}
+	outs, err := runAll(specs)
+	if err != nil {
+		return t, err
+	}
+	for i, w := range Workloads() {
+		var baseB, savings, penalty stats.Summary
+		for r := 0; r < replicas; r++ {
+			base, out := outs[2*(i*replicas+r)], outs[2*(i*replicas+r)+1]
 			baseB.Add(base.Results.AvgBSLD)
 			savings.Add(100 * (1 - out.Results.CompEnergy/base.Results.CompEnergy))
 			penalty.Add(out.Results.AvgBSLD - base.Results.AvgBSLD)
@@ -322,6 +372,10 @@ func ExtPowerDown(s *Suite) (textplot.Table, error) {
 			nodepower.DefaultPolicy().IdleOffDelay, nodepower.DefaultPolicy().WakeEnergySeconds),
 	}
 	pm := dvfs.PaperPowerModel()
+	// Four runs per workload: always-on baseline, DVFS only, power-down
+	// tracking without and with DVFS. Each tracked run owns its tracker.
+	var specs []runner.Spec
+	var trackers []*nodepower.Tracker
 	for _, w := range Workloads() {
 		spec, err := extTrace(s, w)
 		if err != nil {
@@ -331,45 +385,42 @@ func ExtPowerDown(s *Suite) (textplot.Table, error) {
 		if err != nil {
 			return t, err
 		}
-		type variant struct {
-			policy sched.GearPolicy
-		}
-		totalWith := func(v variant) (float64, error) {
+		specs = append(specs, spec)
+		dvfsOnly := spec
+		dvfsOnly.Policy = pol
+		specs = append(specs, dvfsOnly)
+		for _, tracked := range []sched.GearPolicy{nil, pol} {
 			tracker := nodepower.NewTracker(spec.Trace.CPUs)
+			trackers = append(trackers, tracker)
 			run := spec
-			run.Policy = v.policy
+			run.Policy = tracked
 			run.ExtraRecorders = []sched.Recorder{tracker}
-			out, err := runner.Run(run)
-			if err != nil {
-				return 0, err
-			}
-			rep, err := tracker.Evaluate(nodepower.DefaultPolicy(), pm, spec.Trace.Jobs[0].Submit)
-			if err != nil {
-				return 0, err
-			}
-			return out.Results.CompEnergy + rep.TotalIdleSideEnergy(), nil
+			specs = append(specs, run)
 		}
-		base, err := runner.Run(spec)
-		if err != nil {
-			return t, err
-		}
+	}
+	outs, err := runAll(specs)
+	if err != nil {
+		return t, err
+	}
+	for i, w := range Workloads() {
+		base, dvfsOnly := outs[4*i], outs[4*i+1]
 		denom := base.Results.TotalEnergyLow
-		dvfsOnly, err := runner.Run(runner.Spec{Trace: spec.Trace, Policy: pol})
+		tr, err := s.trace(w)
 		if err != nil {
 			return t, err
 		}
-		pdOnly, err := totalWith(variant{policy: nil})
-		if err != nil {
-			return t, err
-		}
-		both, err := totalWith(variant{policy: pol})
-		if err != nil {
-			return t, err
+		total := make([]float64, 2)
+		for k := 0; k < 2; k++ {
+			rep, err := trackers[2*i+k].Evaluate(nodepower.DefaultPolicy(), pm, tr.Jobs[0].Submit)
+			if err != nil {
+				return t, err
+			}
+			total[k] = outs[4*i+2+k].Results.CompEnergy + rep.TotalIdleSideEnergy()
 		}
 		t.AddRow(w,
 			pct(dvfsOnly.Results.TotalEnergyLow/denom),
-			pct(pdOnly/denom),
-			pct(both/denom))
+			pct(total[0]/denom),
+			pct(total[1]/denom))
 	}
 	return t, nil
 }

@@ -1,8 +1,24 @@
 package experiments
 
+import "repro/internal/sweep"
+
 // Reference values transcribed from the paper, used to annotate the
 // reproduction's output and to fill EXPERIMENTS.md with paper-vs-measured
-// comparisons.
+// comparisons, plus the paper's parameter axes as declarative sweep
+// configurations.
+
+// PaperPolicies returns the Figures 3–5 policy axis — every BSLD
+// threshold × wait-queue threshold combination of the evaluation — in
+// presentation order (threshold outer, WQ inner).
+func PaperPolicies() []sweep.PolicyConfig {
+	var pols []sweep.PolicyConfig
+	for _, thr := range BSLDThresholds() {
+		for _, wq := range WQThresholds() {
+			pols = append(pols, sweep.PolicyConfig{BSLDThr: thr, WQThr: wq})
+		}
+	}
+	return pols
+}
 
 // PaperTable1BSLD is the "Avg BSLD" column of Table 1: the average bounded
 // slowdown of the 5000-job segments without DVFS.

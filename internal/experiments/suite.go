@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/dvfs"
 	"repro/internal/metrics"
 	"repro/internal/runner"
+	"repro/internal/sweep"
 	"repro/internal/wgen"
 	"repro/internal/workload"
 )
@@ -32,16 +34,10 @@ type Config struct {
 // baseline reports whether the cell runs without DVFS.
 func (c Config) baseline() bool { return c.BSLDThr == 0 }
 
-// label is the column caption used in tables ("1.5/4", "2/NO", "noDVFS").
+// label is the column caption used in tables ("1.5/4", "2/NO", "noDVFS");
+// it shares the sweep cell caption so tables and CSV rows never diverge.
 func (c Config) label() string {
-	if c.baseline() {
-		return "noDVFS"
-	}
-	wq := fmt.Sprint(c.WQThr)
-	if c.WQThr == core.NoWQLimit {
-		wq = "NO"
-	}
-	return fmt.Sprintf("%g/%s", c.BSLDThr, wq)
+	return sweep.PolicyConfig{BSLDThr: c.BSLDThr, WQThr: c.WQThr}.Label()
 }
 
 // Cell is one simulated grid point.
@@ -156,13 +152,10 @@ func (s *Suite) Cell(cfg Config) (*Cell, error) {
 	return cell, nil
 }
 
-// Prefetch runs the given cells with `workers` goroutines, returning the
-// first error. It warms the cache so subsequent experiment builders are
-// pure formatting.
+// Prefetch runs the given cells across the sweep pool (`workers`
+// goroutines; <=0 selects all cores), returning the first error. It warms
+// the cache so subsequent experiment builders are pure formatting.
 func (s *Suite) Prefetch(cfgs []Config, workers int) error {
-	if workers < 1 {
-		workers = 1
-	}
 	// Deduplicate so each distinct simulation runs once.
 	seen := make(map[Config]bool)
 	var uniq []Config
@@ -190,36 +183,11 @@ func (s *Suite) Prefetch(cfgs []Config, workers int) error {
 			return err
 		}
 	}
-
-	work := make(chan Config)
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for cfg := range work {
-				if _, err := s.Cell(cfg); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-					return
-				}
-			}
-		}()
-	}
-	for _, c := range uniq {
-		work <- c
-	}
-	close(work)
-	wg.Wait()
-	select {
-	case err := <-errs:
+	pool := &sweep.Pool{Workers: workers}
+	return pool.ForEach(context.Background(), len(uniq), func(i int) error {
+		_, err := s.Cell(uniq[i])
 		return err
-	default:
-		return nil
-	}
+	})
 }
 
 // Workloads are the five paper traces in presentation order.
@@ -237,25 +205,17 @@ func WQThresholds() []int { return []int{0, 4, 16, core.NoWQLimit} }
 // size plus 10%, 20%, 50%, 75%, 100% and 125% increases.
 func SizeFactors() []float64 { return []float64{1.0, 1.1, 1.2, 1.5, 1.75, 2.0, 2.25} }
 
-// GridConfigs enumerates every cell the full reproduction needs, so one
-// Prefetch call warms everything.
+// GridConfigs enumerates every cell the full reproduction needs — the
+// baselines plus the two declarative paper sweeps — so one Prefetch call
+// warms everything.
 func GridConfigs() []Config {
 	var cfgs []Config
+	// Baselines (Table 1, normalization denominators).
 	for _, w := range Workloads() {
-		// Baselines (Table 1, normalization denominators).
 		cfgs = append(cfgs, Config{Workload: w, SizeFactor: 1})
-		// Figures 3–5 grid.
-		for _, thr := range BSLDThresholds() {
-			for _, wq := range WQThresholds() {
-				cfgs = append(cfgs, Config{Workload: w, BSLDThr: thr, WQThr: wq, SizeFactor: 1})
-			}
-		}
-		// Figures 7–9 and Table 3: enlarged systems at BSLDthreshold 2.
-		for _, sf := range SizeFactors() {
-			for _, wq := range []int{0, core.NoWQLimit} {
-				cfgs = append(cfgs, Config{Workload: w, BSLDThr: 2, WQThr: wq, SizeFactor: sf})
-			}
-		}
 	}
+	// Figures 3–5 grid, then Figures 7–9 / Table 3 enlarged systems.
+	cfgs = append(cfgs, configsOf(PaperGrid())...)
+	cfgs = append(cfgs, configsOf(EnlargedGrid())...)
 	return cfgs
 }

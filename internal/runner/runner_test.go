@@ -108,6 +108,58 @@ func TestDVFSNeverIncreasesComputationalEnergy(t *testing.T) {
 	}
 }
 
+// BaselinePair must run the exact same machine twice — once with the
+// policy, once at the top gear — since every normalized energy in the
+// paper divides by such a baseline.
+func TestBaselinePair(t *testing.T) {
+	tr := smallTrace(t)
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"original size", Spec{Trace: tr, Policy: bsldPolicy(t, 2, 16)}},
+		{"enlarged", Spec{Trace: tr, Policy: bsldPolicy(t, 2, core.NoWQLimit), SizeFactor: 1.5}},
+		{"explicit cpus", Spec{Trace: tr, Policy: bsldPolicy(t, 3, 0), CPUs: 600}},
+		{"fcfs variant", Spec{Trace: tr, Policy: bsldPolicy(t, 1.5, 4), Variant: sched.FCFS}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pol, base, err := BaselinePair(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pol.CPUs != base.CPUs {
+				t.Errorf("machine sizes differ: policy %d, baseline %d", pol.CPUs, base.CPUs)
+			}
+			if base.Results.ReducedJobs != 0 {
+				t.Errorf("baseline reduced %d jobs", base.Results.ReducedJobs)
+			}
+			if base.Policy == pol.Policy {
+				t.Errorf("baseline policy name %q equals the DVFS policy's", base.Policy)
+			}
+			// The baseline leg must be identical to a plain no-policy run.
+			plain := tc.spec
+			plain.Policy = nil
+			want, err := Run(plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Results != want.Results {
+				t.Error("baseline leg differs from a direct no-policy run")
+			}
+		})
+	}
+}
+
+func TestBaselinePairPropagatesErrors(t *testing.T) {
+	if _, _, err := BaselinePair(Spec{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, _, err := BaselinePair(Spec{Trace: smallTrace(t), SizeFactor: -2}); err == nil {
+		t.Error("negative size factor accepted")
+	}
+}
+
 func TestKeepCollector(t *testing.T) {
 	out, err := Run(Spec{Trace: smallTrace(t), KeepCollector: true})
 	if err != nil {

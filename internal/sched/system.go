@@ -39,6 +39,19 @@ func (v Variant) String() string {
 	return fmt.Sprintf("variant(%d)", int(v))
 }
 
+// ParseVariant resolves a base policy name.
+func ParseVariant(name string) (Variant, error) {
+	switch name {
+	case "easy", "":
+		return EASY, nil
+	case "fcfs":
+		return FCFS, nil
+	case "conservative", "cons":
+		return Conservative, nil
+	}
+	return 0, fmt.Errorf("sched: unknown scheduling variant %q (easy, fcfs, conservative)", name)
+}
+
 // Recorder receives job lifecycle callbacks; the metrics collector
 // implements it. A nil Recorder disables recording.
 type Recorder interface {
@@ -64,6 +77,17 @@ func (o Order) String() string {
 		return "sjf"
 	}
 	return "fcfs"
+}
+
+// ParseOrder resolves a queue discipline name.
+func ParseOrder(name string) (Order, error) {
+	switch name {
+	case "fcfs", "":
+		return FCFSOrder, nil
+	case "sjf":
+		return SJFOrder, nil
+	}
+	return 0, fmt.Errorf("sched: unknown queue order %q (fcfs, sjf)", name)
 }
 
 // Config assembles a simulated system.

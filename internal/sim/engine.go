@@ -42,6 +42,7 @@ type Event struct {
 
 	seq      uint64 // insertion order, final tie-breaker
 	canceled bool
+	fired    bool // dispatched by Run; a late Cancel must not recount it
 }
 
 // Handle is the unique identity of a scheduled event, usable to cancel it.
@@ -79,6 +80,10 @@ type Engine struct {
 	now     Time
 	nextSeq uint64
 	stopped bool
+	// pending counts non-canceled queued events so Len is O(1); it is
+	// maintained by Schedule (+1), Cancel (−1) and Run's pops (−1 for
+	// live events; canceled ones were already subtracted by Cancel).
+	pending int
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -90,15 +95,7 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Time { return e.now }
 
 // Len returns the number of pending (non-canceled) events.
-func (e *Engine) Len() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Len() int { return e.pending }
 
 // ErrPastEvent is returned when scheduling before the current time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
@@ -115,14 +112,16 @@ func (e *Engine) Schedule(t Time, kind EventKind, payload any) (Handle, error) {
 	ev := &Event{T: t, Kind: kind, Payload: payload, seq: e.nextSeq}
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
+	e.pending++
 	return Handle{ev: ev}, nil
 }
 
 // Cancel marks a scheduled event so it will be skipped. Canceling an
 // already-fired or already-canceled event is a no-op.
 func (e *Engine) Cancel(h Handle) {
-	if h.ev != nil {
+	if h.ev != nil && !h.ev.canceled && !h.ev.fired {
 		h.ev.canceled = true
+		e.pending--
 	}
 }
 
@@ -138,6 +137,8 @@ func (e *Engine) Run(handle func(Event)) {
 		if ev.canceled {
 			continue
 		}
+		ev.fired = true
+		e.pending--
 		e.now = ev.T
 		handle(*ev)
 	}

@@ -131,6 +131,74 @@ func TestLenSkipsCanceled(t *testing.T) {
 	}
 }
 
+// Len is a live counter, not a heap scan; it must stay exact across every
+// combination of cancel and pop, including canceling after the event fired.
+func TestLenAcrossCancelThenPop(t *testing.T) {
+	e := NewEngine()
+	h1, _ := e.Schedule(1, EvArrival, nil)
+	h2, _ := e.Schedule(2, EvArrival, nil)
+	e.Schedule(3, EvArrival, nil)
+	e.Cancel(h1)
+	if e.Len() != 2 {
+		t.Fatalf("Len after cancel = %d, want 2", e.Len())
+	}
+	// Pop everything: the canceled event is skipped, the two live ones
+	// fire, and Len must track each pop down to zero.
+	var lens []int
+	e.Run(func(Event) { lens = append(lens, e.Len()) })
+	if len(lens) != 2 || lens[0] != 1 || lens[1] != 0 {
+		t.Errorf("Len during drain = %v, want [1 0]", lens)
+	}
+	if e.Len() != 0 {
+		t.Errorf("Len after drain = %d, want 0", e.Len())
+	}
+	// Canceling handles after their events fired (or were already
+	// canceled) must not drive the counter negative.
+	e.Cancel(h1)
+	e.Cancel(h2)
+	if e.Len() != 0 {
+		t.Errorf("Len after late cancels = %d, want 0", e.Len())
+	}
+	if _, err := e.Schedule(10, EvArrival, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 1 {
+		t.Errorf("Len after reschedule = %d, want 1", e.Len())
+	}
+}
+
+// Property: Len always equals the number of live (scheduled, not canceled,
+// not yet fired) events, under random schedule/cancel interleavings.
+func TestQuickLenMatchesLive(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		live := 0
+		var handles []Handle
+		for i := 0; i < int(n%80); i++ {
+			h, _ := e.Schedule(Time(r.Intn(50)), EvArrival, nil)
+			handles = append(handles, h)
+			live++
+			if r.Intn(4) == 0 {
+				victim := handles[r.Intn(len(handles))]
+				if !victim.ev.canceled {
+					live--
+				}
+				e.Cancel(victim)
+				e.Cancel(victim) // double cancel must not double count
+			}
+			if e.Len() != live {
+				return false
+			}
+		}
+		e.Run(func(Event) { live-- })
+		return e.Len() == 0 && live == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestStop(t *testing.T) {
 	e := NewEngine()
 	for i := 0; i < 10; i++ {

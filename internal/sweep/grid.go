@@ -1,0 +1,343 @@
+// Package sweep turns the paper's parameter studies into a first-class
+// subsystem: a declarative Grid of simulation axes (traces, BSLD
+// thresholds, size factors, machine sizes, scheduling variants, selections,
+// queue orders, reservation depths) that expands to a deterministic ordered
+// list of runs, and a Pool that executes those runs across CPU cores while
+// keeping the output byte-identical to a serial sweep.
+//
+// Determinism contract: Grid.Points always enumerates the cross product in
+// the same nested axis order (trace outermost, reservations innermost), and
+// Pool.Execute writes each result into the slot of its input index, so the
+// result slice never depends on worker count or scheduling interleavings —
+// only per-run wall-clock does.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// PolicyConfig selects the gear policy of one grid cell. The zero value is
+// the no-DVFS baseline (top gear for every job).
+type PolicyConfig struct {
+	// BSLDThr is the BSLD threshold of the paper's algorithm; 0 selects
+	// the baseline without DVFS.
+	BSLDThr float64 `json:"bsld_thr"`
+	// WQThr is the wait-queue threshold (core.NoWQLimit = "NO LIMIT");
+	// ignored for baselines.
+	WQThr int `json:"wq_thr"`
+	// Boost enables the §7 dynamic frequency boost above BoostWQ waiters.
+	Boost   bool `json:"boost,omitempty"`
+	BoostWQ int  `json:"boost_wq,omitempty"`
+}
+
+// Baseline reports whether the cell runs without DVFS.
+func (p PolicyConfig) Baseline() bool { return p.BSLDThr == 0 }
+
+// Label is a compact caption ("2/NO", "1.5/4", "noDVFS").
+func (p PolicyConfig) Label() string {
+	if p.Baseline() {
+		return "noDVFS"
+	}
+	wq := fmt.Sprint(p.WQThr)
+	if p.WQThr == core.NoWQLimit {
+		wq = "NO"
+	}
+	if p.Boost {
+		return fmt.Sprintf("%g/%s+boost%d", p.BSLDThr, wq, p.BoostWQ)
+	}
+	return fmt.Sprintf("%g/%s", p.BSLDThr, wq)
+}
+
+// validate reports the first problem with the policy axis value.
+func (p PolicyConfig) validate() error {
+	if p.Baseline() {
+		return nil
+	}
+	params := core.Params{
+		BSLDThreshold: p.BSLDThr, WQThreshold: p.WQThr,
+		Boost: p.Boost, BoostWQ: p.BoostWQ,
+	}
+	return params.Validate()
+}
+
+// Grid declares one sweep as a cross product of axes. Empty axes collapse
+// to a single default value (noted per field), so a Grid with only Traces
+// set sweeps the plain no-DVFS baseline over those traces.
+type Grid struct {
+	// Traces names workload presets (wgen.Preset) or .swf files.
+	Traces []string `json:"traces"`
+	// Policies are the gear policies; empty → the no-DVFS baseline only.
+	Policies []PolicyConfig `json:"policies,omitempty"`
+	// SizeFactors scale the machine (empty → 1.0, the original size).
+	SizeFactors []float64 `json:"size_factors,omitempty"`
+	// CPUs overrides the machine size outright; 0 keeps the size-factor
+	// path (empty → 0).
+	CPUs []int `json:"cpus,omitempty"`
+	// Variants are base scheduling policies by name (empty → easy).
+	Variants []string `json:"variants,omitempty"`
+	// Selections are resource selection policies by name (empty → firstfit).
+	Selections []string `json:"selections,omitempty"`
+	// Orders are queue disciplines by name (empty → fcfs).
+	Orders []string `json:"orders,omitempty"`
+	// Reservations are EASY reservation depths (empty → 0, classic).
+	Reservations []int `json:"reservations,omitempty"`
+}
+
+// Point is one expanded grid cell: pure data, resolvable to a runner.Spec.
+type Point struct {
+	// Index is the cell's position in grid order; Pool results keep it.
+	Index int `json:"index"`
+
+	Trace        string       `json:"trace"`
+	Policy       PolicyConfig `json:"policy"`
+	SizeFactor   float64      `json:"size_factor"`
+	CPUs         int          `json:"cpus,omitempty"`
+	Variant      string       `json:"variant"`
+	Selection    string       `json:"selection"`
+	Order        string       `json:"order"`
+	Reservations int          `json:"reservations"`
+}
+
+// Label is a human-readable cell caption for progress lines and CSV rows.
+func (p Point) Label() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s", p.Trace, p.Policy.Label())
+	if p.CPUs != 0 {
+		fmt.Fprintf(&b, "/cpus=%d", p.CPUs)
+	} else if p.SizeFactor != 1 {
+		fmt.Fprintf(&b, "/sf=%g", p.SizeFactor)
+	}
+	if p.Variant != "easy" {
+		b.WriteString("/" + p.Variant)
+	}
+	if p.Selection != "firstfit" {
+		b.WriteString("/" + p.Selection)
+	}
+	if p.Order != "fcfs" {
+		b.WriteString("/" + p.Order)
+	}
+	if p.Reservations != 0 {
+		fmt.Fprintf(&b, "/res=%d", p.Reservations)
+	}
+	return b.String()
+}
+
+// withDefaults returns the grid with every empty axis collapsed to its
+// single default value. Validation and expansion share it so they agree.
+func (g Grid) withDefaults() Grid {
+	if len(g.Policies) == 0 {
+		g.Policies = []PolicyConfig{{}}
+	}
+	if len(g.SizeFactors) == 0 {
+		g.SizeFactors = []float64{1}
+	}
+	if len(g.CPUs) == 0 {
+		g.CPUs = []int{0}
+	}
+	if len(g.Variants) == 0 {
+		g.Variants = []string{"easy"}
+	}
+	if len(g.Selections) == 0 {
+		g.Selections = []string{"firstfit"}
+	}
+	if len(g.Orders) == 0 {
+		g.Orders = []string{"fcfs"}
+	}
+	if len(g.Reservations) == 0 {
+		g.Reservations = []int{0}
+	}
+	return g
+}
+
+// Validate reports the first problem with any axis value.
+func (g Grid) Validate() error {
+	if len(g.Traces) == 0 {
+		return fmt.Errorf("sweep: grid has no traces")
+	}
+	for _, tr := range g.Traces {
+		if tr == "" {
+			return fmt.Errorf("sweep: empty trace name")
+		}
+	}
+	d := g.withDefaults()
+	for _, p := range d.Policies {
+		if err := p.validate(); err != nil {
+			return fmt.Errorf("sweep: policy %s: %w", p.Label(), err)
+		}
+	}
+	for _, sf := range d.SizeFactors {
+		if !(sf > 0) || math.IsInf(sf, 1) { // rejects NaN, 0, negatives, +Inf
+			return fmt.Errorf("sweep: size factor %v is not a positive finite number", sf)
+		}
+	}
+	for _, c := range d.CPUs {
+		if c < 0 {
+			return fmt.Errorf("sweep: negative CPUs override %d", c)
+		}
+	}
+	// A CPUs override makes runner.Run ignore the size factor, so crossing
+	// the two axes would run duplicate cells whose size_factor column lies.
+	for _, c := range d.CPUs {
+		if c == 0 {
+			continue
+		}
+		for _, sf := range d.SizeFactors {
+			if sf != 1 {
+				return fmt.Errorf("sweep: CPUs override %d cannot be combined with size factor %v (the override wins and the factor would be ignored)", c, sf)
+			}
+		}
+	}
+	for _, v := range d.Variants {
+		if _, err := sched.ParseVariant(v); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, s := range d.Selections {
+		if _, err := cluster.ParseSelection(s); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, o := range d.Orders {
+		if _, err := sched.ParseOrder(o); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, r := range d.Reservations {
+		if r < 0 {
+			return fmt.Errorf("sweep: negative reservation depth %d", r)
+		}
+	}
+	return nil
+}
+
+// Size is the number of cells the grid expands to.
+func (g Grid) Size() int {
+	d := g.withDefaults()
+	return len(d.Traces) * len(d.Policies) * len(d.SizeFactors) * len(d.CPUs) *
+		len(d.Variants) * len(d.Selections) * len(d.Orders) * len(d.Reservations)
+}
+
+// Points expands the grid in its canonical order: traces outermost, then
+// policies, size factors, CPU overrides, variants, selections, orders and
+// reservation depths innermost. The order is part of the determinism
+// contract — callers may rely on result index i meaning the same cell on
+// every run.
+func (g Grid) Points() []Point {
+	d := g.withDefaults()
+	pts := make([]Point, 0, g.Size())
+	for _, tr := range d.Traces {
+		for _, pol := range d.Policies {
+			for _, sf := range d.SizeFactors {
+				for _, cpus := range d.CPUs {
+					for _, v := range d.Variants {
+						for _, sel := range d.Selections {
+							for _, ord := range d.Orders {
+								for _, res := range d.Reservations {
+									pts = append(pts, Point{
+										Index:        len(pts),
+										Trace:        tr,
+										Policy:       pol,
+										SizeFactor:   sf,
+										CPUs:         cpus,
+										Variant:      v,
+										Selection:    sel,
+										Order:        ord,
+										Reservations: res,
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Resolver materializes Points into runner.Specs: it owns trace loading
+// and the gear/power model shared by every cell of a sweep.
+type Resolver struct {
+	// Trace loads a workload by name. Required.
+	Trace func(name string) (*workload.Trace, error)
+	// Gears is the DVFS gear set (nil → paper gear set).
+	Gears dvfs.GearSet
+	// Beta is the β of the execution time model (0 → runner.DefaultBeta).
+	Beta float64
+	// KeepCollector retains per-job records in every outcome.
+	KeepCollector bool
+}
+
+// gears returns the effective gear set.
+func (r *Resolver) gears() dvfs.GearSet {
+	if r.Gears != nil {
+		return r.Gears
+	}
+	return dvfs.PaperGearSet()
+}
+
+// beta returns the effective dilation exponent.
+func (r *Resolver) beta() float64 {
+	if r.Beta != 0 {
+		return r.Beta
+	}
+	return runner.DefaultBeta
+}
+
+// Spec resolves one grid point into a runnable spec.
+func (r *Resolver) Spec(p Point) (runner.Spec, error) {
+	if r.Trace == nil {
+		return runner.Spec{}, fmt.Errorf("sweep: resolver has no trace loader")
+	}
+	tr, err := r.Trace(p.Trace)
+	if err != nil {
+		return runner.Spec{}, fmt.Errorf("sweep: trace %q: %w", p.Trace, err)
+	}
+	variant, err := sched.ParseVariant(p.Variant)
+	if err != nil {
+		return runner.Spec{}, err
+	}
+	selection, err := cluster.ParseSelection(p.Selection)
+	if err != nil {
+		return runner.Spec{}, err
+	}
+	order, err := sched.ParseOrder(p.Order)
+	if err != nil {
+		return runner.Spec{}, err
+	}
+	spec := runner.Spec{
+		Trace:         tr,
+		SizeFactor:    p.SizeFactor,
+		CPUs:          p.CPUs,
+		Variant:       variant,
+		Selection:     selection,
+		Order:         order,
+		Reservations:  p.Reservations,
+		Gears:         r.Gears,
+		Beta:          r.Beta,
+		KeepCollector: r.KeepCollector,
+	}
+	if !p.Policy.Baseline() {
+		gears := r.gears()
+		pol, err := core.NewPolicy(core.Params{
+			BSLDThreshold: p.Policy.BSLDThr,
+			WQThreshold:   p.Policy.WQThr,
+			Boost:         p.Policy.Boost,
+			BoostWQ:       p.Policy.BoostWQ,
+		}, gears, dvfs.NewTimeModel(r.beta(), gears))
+		if err != nil {
+			return runner.Spec{}, fmt.Errorf("sweep: point %s: %w", p.Label(), err)
+		}
+		spec.Policy = pol
+	}
+	return spec, nil
+}
