@@ -10,6 +10,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -363,6 +364,78 @@ func BenchmarkSweepSerialVsParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- hot path at scale ----------------------------------------------------
+
+// heapSampler rides along as an extra recorder and samples the live heap
+// every sampleEvery scheduling passes, capturing the peak. It lets the
+// large-scale benchmarks verify the streamed-arrival engine keeps memory
+// O(running jobs) where the seed implementation held the whole trace in
+// the event heap.
+type heapSampler struct {
+	every int
+	n     int
+	peak  uint64
+}
+
+func (h *heapSampler) JobStarted(*sched.RunState, float64)  {}
+func (h *heapSampler) JobFinished(*sched.RunState, float64) {}
+
+func (h *heapSampler) PassEnd(now float64, queued, busy int) {
+	h.n++
+	if h.n%h.every != 0 {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > h.peak {
+		h.peak = ms.HeapAlloc
+	}
+}
+
+// BenchmarkHotPathSeedVsOptimized replays the Million stress preset
+// through the seed-era scheduler hot path (upfront arrival heap, linear
+// scan completion removal, per-pass allocation) and the optimized one
+// (streamed arrivals, tombstoned run list, pooled events and reused
+// scratch). Both produce byte-identical schedules — the determinism
+// regression in internal/sched proves it — so the ratio is pure
+// implementation speedup. Results are recorded in BENCH_sched.json.
+func BenchmarkHotPathSeedVsOptimized(b *testing.B) {
+	for _, jobs := range []int{100_000, 1_000_000} {
+		for _, mode := range []struct {
+			name   string
+			compat sched.Compat
+		}{
+			{"seed", sched.SeedCompat()},
+			{"optimized", sched.Compat{}},
+		} {
+			b.Run(fmt.Sprintf("jobs=%d/%s", jobs, mode.name), func(b *testing.B) {
+				tr := benchTrace(b, "Million", jobs)
+				b.ReportAllocs()
+				b.ResetTimer()
+				sampler := &heapSampler{every: 4096}
+				peakEvents := 0
+				for i := 0; i < b.N; i++ {
+					out, err := runner.Run(runner.Spec{
+						Trace:          tr,
+						Compat:         mode.compat,
+						ExtraRecorders: []sched.Recorder{sampler},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if out.Results.Jobs != jobs {
+						b.Fatalf("completed %d jobs, want %d", out.Results.Jobs, jobs)
+					}
+					peakEvents = out.PeakEvents
+				}
+				b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+				b.ReportMetric(float64(sampler.peak)/(1<<20), "peak-heap-MB")
+				b.ReportMetric(float64(peakEvents), "peak-events")
+			})
+		}
 	}
 }
 

@@ -34,10 +34,11 @@ import (
 
 func main() {
 	var (
-		wl      = flag.String("workload", "CTC", "built-in workload model (CTC, SDSC, SDSCBlue, LLNLThunder, LLNLAtlas)")
+		wl      = flag.String("workload", "CTC", "built-in workload model (CTC, SDSC, SDSCBlue, LLNLThunder, LLNLAtlas, Million)")
 		swf     = flag.String("swf", "", "read this SWF trace instead of a built-in model")
 		cpus    = flag.Int("cpus", 0, "system size for -swf traces without a MaxProcs header; 0 = from header")
-		jobs    = flag.Int("jobs", wgen.StandardJobs, "trace segment length for built-in models")
+		jobs    = flag.Int("jobs", 0, "trace segment length for built-in models; 0 = the model's native length (5000 for the paper presets, 1000000 for Million)")
+		dropF   = flag.Bool("drop-failed", false, "drop failed jobs (SWF status 0) when reading -swf traces")
 		bsldThr = flag.Float64("bsld", 2, "BSLDthreshold of the frequency assignment algorithm")
 		wqThr   = flag.Int("wq", 0, "WQthreshold (jobs waiting); -1 = no limit")
 		size    = flag.Float64("size", 1.0, "system size factor (1.2 = 20% enlarged)")
@@ -57,7 +58,7 @@ func main() {
 	if *cfgPath != "" {
 		err = runConfig(*cfgPath, *verbose, *asJSON, *dump)
 	} else {
-		err = run(*wl, *swf, *cpus, *jobs, *bsldThr, *wqThr, *size, *beta, *variant, *sel, *noDVFS, *strict, *boost, *verbose, *asJSON, *dump)
+		err = run(*wl, *swf, *cpus, *jobs, *bsldThr, *wqThr, *size, *beta, *variant, *sel, *noDVFS, *strict, *dropF, *boost, *verbose, *asJSON, *dump)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bsldsim:", err)
@@ -141,8 +142,8 @@ type jsonReport struct {
 }
 
 func run(wl, swf string, cpus, jobs int, bsldThr float64, wqThr int, size, beta float64,
-	variant, sel string, noDVFS, strict bool, boost int, verbose, asJSON bool, dump string) error {
-	tr, err := loadTrace(wl, swf, cpus, jobs)
+	variant, sel string, noDVFS, strict, dropFailed bool, boost int, verbose, asJSON bool, dump string) error {
+	tr, err := loadTrace(wl, swf, cpus, jobs, dropFailed)
 	if err != nil {
 		return err
 	}
@@ -269,19 +270,21 @@ func report(tr *workload.Trace, out, base runner.Outcome, v sched.Variant,
 	return nil
 }
 
-func loadTrace(wl, swf string, cpus, jobs int) (*workload.Trace, error) {
+func loadTrace(wl, swf string, cpus, jobs int, dropFailed bool) (*workload.Trace, error) {
 	if swf != "" {
 		f, err := os.Open(swf)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return workload.ParseSWF(f, swf, cpus)
+		return workload.ParseSWFFiltered(f, swf, cpus, workload.SWFFilter{DropFailed: dropFailed})
 	}
 	model, err := wgen.Preset(wl)
 	if err != nil {
 		return nil, err
 	}
-	model.Jobs = jobs
+	if jobs > 0 {
+		model.Jobs = jobs
+	}
 	return wgen.Generate(model)
 }

@@ -44,7 +44,7 @@ func main() {
 		selections = flag.String("selections", "", "comma-separated selections: firstfit,contiguous,nextfit")
 		orders     = flag.String("orders", "", "comma-separated queue orders: fcfs,sjf")
 		res        = flag.String("res", "", "comma-separated EASY reservation depths")
-		jobs       = flag.Int("jobs", wgen.StandardJobs, "trace segment length for presets")
+		jobs       = flag.Int("jobs", wgen.StandardJobs, "trace segment length for presets; 0 = the model's native length (5000 for the paper presets, 1000000 for Million)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
 		format     = flag.String("format", "csv", "output format: csv or json")
 		progress   = flag.Bool("progress", false, "print per-run progress to stderr")
@@ -111,7 +111,9 @@ func loader(jobs int) func(name string) (*workload.Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.Jobs = jobs
+		if jobs > 0 {
+			m.Jobs = jobs
+		}
 		return wgen.Generate(m)
 	}
 }

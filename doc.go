@@ -16,4 +16,28 @@
 // worker count. The experiments suite, cmd/calibrate and the standalone
 // cmd/sweep CLI (JSON/flag-defined grids, CSV or JSON results) all drive
 // their simulations through that pool.
+//
+// # Scale
+//
+// The scheduler hot path is built for million-job traces (the wgen
+// Million preset; BENCH_sched.json tracks the trajectory). Three
+// properties keep it fast and flat in memory:
+//
+//   - Streaming arrivals: sched.System.Simulate feeds arrivals lazily
+//     from the submit-sorted trace, so the event heap holds only
+//     running-job completions plus a single pending arrival —
+//     O(running jobs), not O(trace).
+//   - O(1) completion removal: the run list tombstones finished entries
+//     by index and compacts lazily, preserving exact start-order
+//     iteration (which the EASY shadow computation and the
+//     profile-based variants replay deterministically).
+//   - Allocation-free steady state: the engine pools events behind
+//     generation-counted handles, and per-pass scratch (shadow release
+//     lists, queue filters, availability profiles) is reused across
+//     passes.
+//
+// The seed-era implementations remain available behind sched.Compat /
+// sched.SeedCompat() purely as a benchmark reference; determinism
+// regressions assert both paths produce identical schedules under every
+// base policy and queue order.
 package repro

@@ -89,6 +89,7 @@ func loadTrace() (*workload.Trace, error) {
 	add := func(id int, submit, runtime float64, procs int, reqtime float64) {
 		demo.Jobs = append(demo.Jobs, &workload.Job{
 			ID: id, Submit: submit, Runtime: runtime, Procs: procs, ReqTime: reqtime, Beta: -1,
+			Status: workload.StatusCompleted,
 		})
 	}
 	add(1, 0, 7200, 32, 9000)

@@ -199,3 +199,64 @@ func TestQuickBusyIntegralMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: double release must be rejected under EVERY selection
+// policy. The seed implementation only consulted the ownership bitmap of
+// the contiguous/next-fit policies, so under First Fit (the paper's
+// policy) a double release silently pushed duplicate IDs into the free
+// heap, corrupting nfree/busy and letting one processor be allocated
+// twice.
+func TestDoubleReleaseRejectedAllPolicies(t *testing.T) {
+	for _, sel := range []Selection{FirstFit, ContiguousBestFit, NextFit} {
+		c, err := NewWithSelection(8, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := c.Allocate(3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := c.Allocate(2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Release(a, 1); err != nil {
+			t.Fatalf("%v: first release failed: %v", sel, err)
+		}
+		if err := c.Release(a, 2); err == nil {
+			t.Fatalf("%v: double release accepted", sel)
+		}
+		// The failed release must not have mutated any accounting.
+		if c.FreeCount() != 6 || c.Busy() != 2 {
+			t.Fatalf("%v: free=%d busy=%d after rejected double release, want 6/2",
+				sel, c.FreeCount(), c.Busy())
+		}
+		// A duplicate ID within one allocation is also a double release.
+		dup := Alloc{IDs: []int{b.IDs[0], b.IDs[0]}}
+		if err := c.Release(dup, 3); err == nil {
+			t.Fatalf("%v: duplicate-ID release accepted", sel)
+		}
+		if c.FreeCount() != 6 || c.Busy() != 2 {
+			t.Fatalf("%v: free=%d busy=%d after rejected duplicate release, want 6/2",
+				sel, c.FreeCount(), c.Busy())
+		}
+		if err := c.Release(b, 4); err != nil {
+			t.Fatalf("%v: valid release rejected after errors: %v", sel, err)
+		}
+		if c.FreeCount() != 8 || c.Busy() != 0 {
+			t.Fatalf("%v: free=%d busy=%d at end, want 8/0", sel, c.FreeCount(), c.Busy())
+		}
+		// The machine must still allocate every processor exactly once.
+		seen := map[int]bool{}
+		all, err := c.Allocate(8, 5)
+		if err != nil {
+			t.Fatalf("%v: full allocation failed: %v", sel, err)
+		}
+		for _, id := range all.IDs {
+			if seen[id] {
+				t.Fatalf("%v: processor %d allocated twice", sel, id)
+			}
+			seen[id] = true
+		}
+	}
+}

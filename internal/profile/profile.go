@@ -40,6 +40,15 @@ func New(total int) *Profile {
 	return &Profile{Total: total}
 }
 
+// Reset empties the profile for a machine of total processors, retaining
+// the entry and delta capacity of previous use. It lets a scheduler replan
+// every pass without reallocating the profile storage.
+func (p *Profile) Reset(total int) {
+	p.Total = total
+	p.entries = p.entries[:0]
+	p.deltas = p.deltas[:0]
+}
+
 // Add inserts an occupancy interval. Entries with non-positive duration or
 // zero cpus are ignored.
 func (p *Profile) Add(e Entry) {

@@ -53,6 +53,11 @@ type Spec struct {
 	// ExtraRecorders observe the run alongside the metrics collector
 	// (e.g. nodepower.Tracker for the power-down baseline).
 	ExtraRecorders []sched.Recorder
+
+	// Compat re-enables seed-era scheduler hot-path behavior; zero (the
+	// optimized path) for all production runs. Benchmarks and determinism
+	// regressions use sched.SeedCompat() to compare implementations.
+	Compat sched.Compat
 }
 
 // Outcome is the result of one run.
@@ -61,6 +66,10 @@ type Outcome struct {
 	Collector *metrics.Collector // nil unless Spec.KeepCollector
 	Policy    string
 	CPUs      int
+	// PeakEvents is the high-water mark of the simulation event heap, a
+	// scale diagnostic: O(running jobs) on the optimized hot path versus
+	// O(trace) under Compat.UpfrontArrivals.
+	PeakEvents int
 }
 
 // Run executes the simulation described by spec.
@@ -114,6 +123,7 @@ func Run(spec Spec) (Outcome, error) {
 		Selection:    spec.Selection,
 		Order:        spec.Order,
 		Reservations: spec.Reservations,
+		Compat:       spec.Compat,
 	})
 	if err != nil {
 		return Outcome{}, err
@@ -125,9 +135,10 @@ func Run(spec Spec) (Outcome, error) {
 	busy := sys.Cluster().BusyCPUSeconds(end)
 	idle := sys.Cluster().IdleCPUSeconds(start, end)
 	out := Outcome{
-		Results: col.Summarize(idle, busy, cpus),
-		Policy:  pol.Name(),
-		CPUs:    cpus,
+		Results:    col.Summarize(idle, busy, cpus),
+		Policy:     pol.Name(),
+		CPUs:       cpus,
+		PeakEvents: sys.PeakEvents(),
 	}
 	if spec.KeepCollector {
 		out.Collector = col

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/dvfs"
+	"repro/internal/workload"
+)
+
+// Determinism regression for the hot-path refactor: the optimized
+// implementation (streamed arrivals, tombstoned run list, reused scratch)
+// must replay every trace identically to the seed implementation
+// (upfront arrival heap, linear-scan removal, per-pass allocation) under
+// every base policy and queue order. Start and end times are compared
+// exactly — any ordering drift in the run-list iteration or the event
+// heap shows up as a changed schedule.
+func TestCompatModesProduceIdenticalSchedules(t *testing.T) {
+	type fixture struct {
+		name    string
+		variant Variant
+		order   Order
+		resv    int
+	}
+	fixtures := []fixture{
+		{"easy", EASY, FCFSOrder, 0},
+		{"fcfs", FCFS, FCFSOrder, 0},
+		{"conservative", Conservative, FCFSOrder, 0},
+		{"easy-sjf", EASY, SJFOrder, 0},
+		{"flexible-4", EASY, FCFSOrder, 4},
+	}
+	gears := dvfs.PaperGearSet()
+	run := func(fx fixture, compat Compat, seed int64) (map[int]float64, map[int]float64) {
+		rec := newAudit(t, 16)
+		sys, err := New(Config{
+			CPUs:         16,
+			Gears:        gears,
+			TimeModel:    dvfs.NewTimeModel(0.5, gears),
+			Policy:       topPolicy(),
+			Variant:      fx.variant,
+			Order:        fx.order,
+			Reservations: fx.resv,
+			Recorder:     rec,
+			Compat:       compat,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Simulate(randomTrace(seed, 16, 250)); err != nil {
+			t.Fatalf("%s: %v", fx.name, err)
+		}
+		return rec.starts, rec.ends
+	}
+	compats := map[string]Compat{
+		"seed":           SeedCompat(),
+		"stream-only":    {ScanRemoval: true, ScratchAlloc: true},
+		"tombstone-only": {UpfrontArrivals: true, ScratchAlloc: true},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				wantStarts, wantEnds := run(fx, Compat{}, seed)
+				for cname, c := range compats {
+					gotStarts, gotEnds := run(fx, c, seed)
+					if len(gotStarts) != len(wantStarts) {
+						t.Fatalf("seed %d %s: %d jobs started, optimized %d",
+							seed, cname, len(gotStarts), len(wantStarts))
+					}
+					for id, st := range wantStarts {
+						if gotStarts[id] != st {
+							t.Fatalf("seed %d %s: job %d start %v, optimized %v",
+								seed, cname, id, gotStarts[id], st)
+						}
+						if gotEnds[id] != wantEnds[id] {
+							t.Fatalf("seed %d %s: job %d end %v, optimized %v",
+								seed, cname, id, gotEnds[id], wantEnds[id])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// The tombstoned run list must preserve start order across heavy churn:
+// Running() always reports live jobs in the order they started, and the
+// indexes stay consistent after compaction.
+func TestRunListTombstoneCompaction(t *testing.T) {
+	checker := runOrderChecker{t: t}
+	sys := paperSystem(t, 8, EASY, orderAuditPolicy{checker: &checker}, nil)
+	tr := randomTrace(7, 8, 300)
+	if err := sys.Simulate(tr); err != nil {
+		t.Fatal(err)
+	}
+	if sys.runningCount() != 0 {
+		t.Errorf("runningCount = %d after drain, want 0", sys.runningCount())
+	}
+	if checker.passes == 0 {
+		t.Fatal("order checker never ran")
+	}
+}
+
+type runOrderChecker struct {
+	t      *testing.T
+	passes int
+}
+
+// orderAuditPolicy verifies Running()'s ordering and index invariants
+// after every pass, mid-simulation, where tombstones are live.
+type orderAuditPolicy struct {
+	checker *runOrderChecker
+}
+
+func (p orderAuditPolicy) Name() string { return "order-audit" }
+func (p orderAuditPolicy) ReserveGear(j *workload.Job, start, now float64, wq int) dvfs.Gear {
+	return dvfs.PaperGearSet().Top()
+}
+func (p orderAuditPolicy) BackfillGear(j *workload.Job, now float64, wq int, feasible func(dvfs.Gear) bool) (dvfs.Gear, bool) {
+	g := dvfs.PaperGearSet().Top()
+	return g, feasible(g)
+}
+func (p orderAuditPolicy) PostPass(sys *System, now float64) {
+	p.checker.passes++
+	running := sys.Running()
+	for i, rs := range running {
+		if rs == nil {
+			p.checker.t.Fatalf("Running()[%d] is nil", i)
+		}
+		if rs.runIdx != i {
+			p.checker.t.Fatalf("Running()[%d].runIdx = %d", i, rs.runIdx)
+		}
+		if i > 0 && rs.Start < running[i-1].Start {
+			p.checker.t.Fatalf("Running() out of start order at %d: %v < %v",
+				i, rs.Start, running[i-1].Start)
+		}
+	}
+	if got := sys.runningCount(); got != len(running) {
+		p.checker.t.Fatalf("runningCount = %d, Running() has %d", got, len(running))
+	}
+}

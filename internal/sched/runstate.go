@@ -31,6 +31,10 @@ type RunState struct {
 	Alloc cluster.Alloc
 	endEv sim.Handle
 
+	// runIdx is this entry's slot in System.runList, kept so completion
+	// removal is O(1) (the slot is tombstoned and compacted lazily).
+	runIdx int
+
 	// phaseStart is when the current gear began; closed phases live in
 	// Phases. workDone accumulates completed top-frequency seconds of the
 	// closed phases (for mid-run gear switches).

@@ -7,6 +7,14 @@ import (
 	"repro/internal/workload"
 )
 
+// release is one running job's planned processor release, the unit of the
+// shadow-time sweep.
+type release struct {
+	t    float64
+	cpus int
+	id   int
+}
+
 // shadow computes the EASY reservation for a head job that cannot start
 // now: the shadow time (earliest time enough processors are free according
 // to the running jobs' kill limits) and the number of extra processors
@@ -16,15 +24,20 @@ import (
 // Because only running jobs hold processors (EASY keeps a single
 // reservation), availability is non-decreasing in time and the sweep over
 // planned completions is exact.
+//
+// The release list is assembled in a per-system scratch slice reused
+// across passes; sorting by (time, job ID) makes the result independent of
+// run-list iteration order.
 func (s *System) shadow(head *workload.Job, now float64) (float64, int) {
 	avail := s.cl.FreeCount()
-	type release struct {
-		t    float64
-		cpus int
-		id   int
+	rels := s.relScratch[:0]
+	if s.cfg.Compat.ScratchAlloc {
+		rels = make([]release, 0, s.runningCount())
 	}
-	rels := make([]release, 0, len(s.runList))
 	for _, rs := range s.runList {
+		if rs == nil {
+			continue // tombstoned completion
+		}
 		// A job at its kill limit still holds its processors until its
 		// completion event fires (possibly later at this same timestamp);
 		// its release time must stay strictly after `now` so backfills
@@ -34,6 +47,9 @@ func (s *System) shadow(head *workload.Job, now float64) (float64, int) {
 			t = math.Nextafter(now, math.Inf(1))
 		}
 		rels = append(rels, release{t: t, cpus: rs.Job.Procs, id: rs.Job.ID})
+	}
+	if !s.cfg.Compat.ScratchAlloc {
+		s.relScratch = rels // retain grown capacity for the next pass
 	}
 	sort.Slice(rels, func(i, j int) bool {
 		if rels[i].t != rels[j].t {

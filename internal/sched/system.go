@@ -90,6 +90,32 @@ func ParseOrder(name string) (Order, error) {
 	return 0, fmt.Errorf("sched: unknown queue order %q (fcfs, sjf)", name)
 }
 
+// Compat selects seed-era reference implementations of hot-path pieces.
+// The zero value is the optimized path and is what every production
+// caller should use; the flags exist so benchmarks can quantify each
+// optimization and so determinism regressions can prove the optimized
+// path replays traces identically to the original implementation.
+type Compat struct {
+	// UpfrontArrivals schedules every arrival of the trace into the event
+	// heap before the run starts (heap size O(trace)) instead of feeding
+	// arrivals lazily from the sorted trace (heap size O(running jobs)).
+	UpfrontArrivals bool
+	// ScanRemoval removes finished jobs from the run list by linear scan
+	// and ordered deletion (O(running) per completion) instead of the
+	// indexed tombstone scheme.
+	ScanRemoval bool
+	// ScratchAlloc allocates fresh scratch (shadow release lists, kept
+	// queues, availability profiles, engine events) on every pass instead
+	// of reusing per-system buffers.
+	ScratchAlloc bool
+}
+
+// SeedCompat returns the full seed-era behavior: every hot-path
+// optimization disabled.
+func SeedCompat() Compat {
+	return Compat{UpfrontArrivals: true, ScanRemoval: true, ScratchAlloc: true}
+}
+
 // Config assembles a simulated system.
 type Config struct {
 	CPUs      int
@@ -108,15 +134,32 @@ type Config struct {
 	// give "flexible" backfilling that protects the first K queued jobs;
 	// Conservative ignores this (every job is protected).
 	Reservations int
+	// Compat re-enables seed-era hot-path behavior for benchmarking and
+	// determinism regression; leave zero for production use.
+	Compat Compat
 }
 
 // System simulates one cluster under one scheduling policy.
 type System struct {
-	cfg     Config
-	engine  *sim.Engine
-	cl      *cluster.Cluster
-	queue   []*workload.Job
+	cfg    Config
+	engine *sim.Engine
+	cl     *cluster.Cluster
+	queue  []*workload.Job
+
+	// runList holds running jobs in start order. Finished entries are
+	// tombstoned to nil (O(1) removal) and compacted once they exceed
+	// half the slice; iteration must skip nils. runNil counts tombstones.
 	runList []*RunState
+	runNil  int
+
+	// arrivals streams the trace into the engine: only arrivals[next] is
+	// in the event heap at any time, so heap size stays O(running jobs).
+	arrivals []*workload.Job
+	nextArr  int
+
+	// relScratch and prof are per-system scratch reused across passes.
+	relScratch []release
+	prof       *profile.Profile
 }
 
 // New validates the configuration and returns a ready system.
@@ -142,6 +185,7 @@ func New(cfg Config) (*System, error) {
 		engine: sim.NewEngine(),
 		cl:     cl,
 	}
+	s.engine.NoPool = cfg.Compat.ScratchAlloc
 	if b, ok := cfg.Policy.(SystemBinder); ok {
 		b.Bind(s)
 	}
@@ -158,12 +202,44 @@ type SystemBinder interface {
 // Now returns the current simulation time.
 func (s *System) Now() float64 { return s.engine.Now() }
 
+// PeakEvents returns the high-water mark of the event heap over the run —
+// O(running jobs) with streamed arrivals, O(trace) under the seed-era
+// upfront scheduling.
+func (s *System) PeakEvents() int { return s.engine.MaxPending() }
+
 // QueueLen returns the number of jobs waiting on execution.
 func (s *System) QueueLen() int { return len(s.queue) }
 
 // Running returns the running jobs in start order. The slice is shared;
 // callers must not mutate it.
-func (s *System) Running() []*RunState { return s.runList }
+func (s *System) Running() []*RunState {
+	if s.runNil > 0 {
+		s.compactRunList()
+	}
+	return s.runList
+}
+
+// runningCount returns the number of live entries in the run list.
+func (s *System) runningCount() int { return len(s.runList) - s.runNil }
+
+// compactRunList squeezes tombstones out of the run list, preserving
+// start order and refreshing every entry's index.
+func (s *System) compactRunList() {
+	w := 0
+	for _, rs := range s.runList {
+		if rs == nil {
+			continue
+		}
+		rs.runIdx = w
+		s.runList[w] = rs
+		w++
+	}
+	for i := w; i < len(s.runList); i++ {
+		s.runList[i] = nil
+	}
+	s.runList = s.runList[:w]
+	s.runNil = 0
+}
 
 // Cluster exposes the machine, e.g. for utilization accounting.
 func (s *System) Cluster() *cluster.Cluster { return s.cl }
@@ -189,22 +265,61 @@ func (s *System) actDur(j *workload.Job, g dvfs.Gear) float64 {
 
 // Simulate schedules every job of the trace and runs to completion. The
 // trace must fit the machine.
+//
+// Arrivals are fed to the event engine lazily from the submit-sorted
+// trace: at most one future arrival is in the event heap at any time, so
+// the heap holds O(running jobs) events regardless of trace length. An
+// unsorted trace is sorted into a private copy first (the event heap of
+// the original implementation performed the same ordering implicitly).
 func (s *System) Simulate(tr *workload.Trace) error {
 	if err := tr.Validate(); err != nil {
 		return err
 	}
-	for _, j := range tr.Jobs {
+	sorted := true
+	for i, j := range tr.Jobs {
 		if j.Procs > s.cfg.CPUs {
 			return fmt.Errorf("sched: job %d needs %d > %d processors", j.ID, j.Procs, s.cfg.CPUs)
 		}
-		if _, err := s.engine.Schedule(j.Submit, sim.EvArrival, j); err != nil {
-			return fmt.Errorf("sched: scheduling arrival of job %d: %w", j.ID, err)
+		if i > 0 && j.Submit < tr.Jobs[i-1].Submit {
+			sorted = false
+		}
+	}
+	if s.cfg.Compat.UpfrontArrivals {
+		for _, j := range tr.Jobs {
+			if _, err := s.engine.Schedule(j.Submit, sim.EvArrival, j); err != nil {
+				return fmt.Errorf("sched: scheduling arrival of job %d: %w", j.ID, err)
+			}
+		}
+	} else {
+		s.arrivals = tr.Jobs
+		if !sorted {
+			s.arrivals = append([]*workload.Job(nil), tr.Jobs...)
+			sort.SliceStable(s.arrivals, func(a, b int) bool {
+				return s.arrivals[a].Submit < s.arrivals[b].Submit
+			})
+		}
+		s.nextArr = 0
+		if err := s.feedArrival(); err != nil {
+			return err
 		}
 	}
 	s.engine.Run(s.dispatch)
-	if len(s.queue) > 0 || len(s.runList) > 0 {
+	if len(s.queue) > 0 || s.runningCount() > 0 {
 		return fmt.Errorf("sched: simulation drained with %d queued and %d running jobs",
-			len(s.queue), len(s.runList))
+			len(s.queue), s.runningCount())
+	}
+	return nil
+}
+
+// feedArrival schedules the next pending arrival of the streamed trace.
+func (s *System) feedArrival() error {
+	if s.nextArr >= len(s.arrivals) {
+		return nil
+	}
+	j := s.arrivals[s.nextArr]
+	s.nextArr++
+	if _, err := s.engine.Schedule(j.Submit, sim.EvArrival, j); err != nil {
+		return fmt.Errorf("sched: scheduling arrival of job %d: %w", j.ID, err)
 	}
 	return nil
 }
@@ -214,6 +329,11 @@ func (s *System) dispatch(ev sim.Event) {
 	switch ev.Kind {
 	case sim.EvArrival:
 		s.queue = append(s.queue, ev.Payload.(*workload.Job))
+		// Replenish the event heap with the next trace arrival before the
+		// pass runs; its submit is >= now, so scheduling cannot fail.
+		if err := s.feedArrival(); err != nil {
+			panic(err)
+		}
 		s.pass(now)
 	case sim.EvEnd:
 		s.finish(ev.Payload.(*RunState), now)
@@ -267,11 +387,16 @@ func (s *System) pass(now float64) {
 
 	// EASY backfilling. The head cannot start; compute its shadow time
 	// (reservation start) and the extra processors not needed by it.
+	// Surviving jobs are filtered into the queue's own backing array
+	// (writes always trail reads), so a pass allocates nothing.
 	head := s.queue[0]
 	shadow, extra := s.shadow(head, now)
 	free := s.cl.FreeCount()
-	kept := make([]*workload.Job, 1, len(s.queue))
-	kept[0] = head
+	kept := s.queue[:1]
+	if s.cfg.Compat.ScratchAlloc {
+		kept = make([]*workload.Job, 1, len(s.queue))
+		kept[0] = head
+	}
 	qlen := len(s.queue)
 	for _, j := range s.queue[1:] {
 		started := false
@@ -296,8 +421,18 @@ func (s *System) pass(now float64) {
 			kept = append(kept, j)
 		}
 	}
-	s.queue = kept
+	s.setQueue(kept)
 	s.cfg.Policy.PostPass(s, now)
+}
+
+// setQueue installs the filtered queue. kept usually aliases the queue's
+// backing array, so the abandoned tail is cleared to keep started jobs
+// from lingering behind the slice length.
+func (s *System) setQueue(kept []*workload.Job) {
+	for i := len(kept); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = kept
 }
 
 // profilePass replans the queue against an availability profile. The
@@ -307,8 +442,20 @@ func (s *System) pass(now float64) {
 // conservative backfilling; small maxRes yields "flexible" EASY variants
 // protecting the first K queued jobs.
 func (s *System) profilePass(now float64, maxRes int) {
-	prof := profile.New(s.cl.Total())
+	var prof *profile.Profile
+	if s.cfg.Compat.ScratchAlloc {
+		prof = profile.New(s.cl.Total())
+	} else {
+		if s.prof == nil {
+			s.prof = profile.New(s.cl.Total())
+		}
+		s.prof.Reset(s.cl.Total())
+		prof = s.prof
+	}
 	for _, rs := range s.runList {
+		if rs == nil {
+			continue // tombstoned completion
+		}
 		// A job at its kill limit still occupies processors until its
 		// completion event fires (possibly at this same timestamp, later
 		// in the event order), so its release must stay strictly after
@@ -319,7 +466,10 @@ func (s *System) profilePass(now float64, maxRes int) {
 		}
 		prof.Add(profile.Entry{Start: now, End: end, CPUs: rs.Job.Procs})
 	}
-	kept := make([]*workload.Job, 0, len(s.queue))
+	kept := s.queue[:0]
+	if s.cfg.Compat.ScratchAlloc {
+		kept = make([]*workload.Job, 0, len(s.queue))
+	}
 	qlen := len(s.queue)
 	reserved := 0
 	for _, j := range s.queue {
@@ -354,7 +504,7 @@ func (s *System) profilePass(now float64, maxRes int) {
 		}
 		kept = append(kept, j)
 	}
-	s.queue = kept
+	s.setQueue(kept)
 	s.cfg.Policy.PostPass(s, now)
 }
 
@@ -380,24 +530,40 @@ func (s *System) start(j *workload.Job, g dvfs.Gear, now float64) {
 		panic(fmt.Sprintf("sched: scheduling completion of job %d: %v", j.ID, err))
 	}
 	rs.endEv = h
+	rs.runIdx = len(s.runList)
 	s.runList = append(s.runList, rs)
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.JobStarted(rs, now)
 	}
 }
 
-// finish releases j's processors and closes its phase history.
+// finish releases j's processors and closes its phase history. Removal
+// from the run list is O(1): the slot is tombstoned and the list is
+// compacted once tombstones outnumber live entries, preserving start
+// order exactly (the property shadow and profilePass iterate under).
 func (s *System) finish(rs *RunState, now float64) {
 	if err := s.cl.Release(rs.Alloc, now); err != nil {
 		panic(fmt.Sprintf("sched: release invariant broken for job %d: %v", rs.Job.ID, err))
 	}
-	for i, r := range s.runList {
-		if r == rs {
-			s.runList = append(s.runList[:i], s.runList[i+1:]...)
-			break
+	if s.cfg.Compat.ScanRemoval {
+		for i, r := range s.runList {
+			if r == rs {
+				s.runList = append(s.runList[:i], s.runList[i+1:]...)
+				break
+			}
+		}
+	} else {
+		s.runList[rs.runIdx] = nil
+		s.runNil++
+		if s.runNil*2 > len(s.runList) {
+			s.compactRunList()
 		}
 	}
-	rs.Phases = rs.AllPhases(now)
+	// Close the open phase in place (equivalent to rs.AllPhases(now) but
+	// without copying the closed-phase history for every completion).
+	if now > rs.phaseStart {
+		rs.Phases = append(rs.Phases, Phase{Gear: rs.Gear, Dur: now - rs.phaseStart})
+	}
 	rs.phaseStart = now // the open phase is now empty
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.JobFinished(rs, now)

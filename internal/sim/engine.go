@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 )
@@ -41,19 +40,29 @@ type Event struct {
 	Payload any
 
 	seq      uint64 // insertion order, final tie-breaker
+	gen      uint32 // reuse generation; invalidates stale Handles
 	canceled bool
 	fired    bool // dispatched by Run; a late Cancel must not recount it
 }
 
 // Handle is the unique identity of a scheduled event, usable to cancel it.
-type Handle struct{ ev *Event }
+// Handles stay valid across the engine's internal event reuse: a handle to
+// a fired or canceled event is permanently inert.
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
 
-// eventHeap implements container/heap ordering by (T, Kind, seq).
+// eventHeap is a hand-rolled binary min-heap ordered by (T, Kind, seq).
+// The direct implementation (instead of container/heap) keeps the
+// comparison inlined and free of interface dispatch; it is the hottest
+// loop of a simulation. Heap layout never affects dispatch order — the
+// (T, Kind, seq) key is unique per event, so pops are totally ordered.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
+// less is the total event order: time, then kind (completions before
+// arrivals), then insertion sequence.
+func less(a, b *Event) bool {
 	if a.T != b.T {
 		return a.T < b.T
 	}
@@ -62,14 +71,45 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) push(ev *Event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(s[i], s[parent]) {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *Event {
+	s := *h
+	n := len(s) - 1
+	ev := s[0]
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && less(s[r], s[l]) {
+			min = r
+		}
+		if !less(s[min], s[i]) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
 	return ev
 }
 
@@ -84,6 +124,16 @@ type Engine struct {
 	// maintained by Schedule (+1), Cancel (−1) and Run's pops (−1 for
 	// live events; canceled ones were already subtracted by Cancel).
 	pending int
+	// maxPending is the high-water mark of pending, the direct measure of
+	// the engine's O(·) memory behavior over a run.
+	maxPending int
+	// pool recycles dispatched events so steady-state simulation allocates
+	// no Event per Schedule. Reused events bump their generation, which
+	// inertly expires any Handle still pointing at them.
+	pool []*Event
+	// NoPool disables event recycling (every Schedule allocates), retained
+	// as the seed-era reference behavior for allocation benchmarks.
+	NoPool bool
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -97,6 +147,11 @@ func (e *Engine) Now() Time { return e.now }
 // Len returns the number of pending (non-canceled) events.
 func (e *Engine) Len() int { return e.pending }
 
+// MaxPending returns the high-water mark of pending events over the
+// engine's lifetime — with streamed arrivals it stays O(running jobs)
+// where scheduling a whole trace upfront makes it O(trace).
+func (e *Engine) MaxPending() int { return e.maxPending }
+
 // ErrPastEvent is returned when scheduling before the current time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
 
@@ -109,37 +164,66 @@ func (e *Engine) Schedule(t Time, kind EventKind, payload any) (Handle, error) {
 	if t < e.now {
 		return Handle{}, ErrPastEvent
 	}
-	ev := &Event{T: t, Kind: kind, Payload: payload, seq: e.nextSeq}
+	var ev *Event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		ev.T, ev.Kind, ev.Payload = t, kind, payload
+		ev.canceled, ev.fired = false, false
+	} else {
+		ev = &Event{T: t, Kind: kind, Payload: payload}
+	}
+	ev.seq = e.nextSeq
 	e.nextSeq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	e.pending++
-	return Handle{ev: ev}, nil
+	if e.pending > e.maxPending {
+		e.maxPending = e.pending
+	}
+	return Handle{ev: ev, gen: ev.gen}, nil
 }
 
 // Cancel marks a scheduled event so it will be skipped. Canceling an
-// already-fired or already-canceled event is a no-op.
+// already-fired or already-canceled event — or holding a handle past the
+// event's reuse — is a no-op.
 func (e *Engine) Cancel(h Handle) {
-	if h.ev != nil && !h.ev.canceled && !h.ev.fired {
+	if h.ev != nil && h.gen == h.ev.gen && !h.ev.canceled && !h.ev.fired {
 		h.ev.canceled = true
 		e.pending--
 	}
 }
 
-// Stop makes Run return after the current event's handler completes.
+// Stop makes Run return after the current event's handler completes. A
+// Stop issued before Run makes it return immediately without dispatching;
+// the engine stays stopped either way, so a later Run is also a no-op.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// recycle expires an event's handles and returns it to the pool.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.Payload = nil
+	if !e.NoPool {
+		e.pool = append(e.pool, ev)
+	}
+}
 
 // Run dispatches events in order to handle until the queue drains or Stop
 // is called. The handler may schedule further events.
 func (e *Engine) Run(handle func(Event)) {
-	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.queue.pop()
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		ev.fired = true
 		e.pending--
 		e.now = ev.T
 		handle(*ev)
+		e.recycle(ev)
 	}
 }

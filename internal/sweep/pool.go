@@ -56,17 +56,21 @@ func (p *Pool) workerCount(n int) int {
 // of worker count or finish order: slot i always holds runs[i]'s result.
 // Per-run simulation errors are captured in Result.Err and do not stop the
 // sweep. Canceling ctx stops dispatching promptly; runs not yet started
-// get ctx's error, and the same error is returned once all workers drain.
+// get ctx's error. The context error is surfaced as Execute's own error
+// only when at least one run was actually skipped — a cancellation that
+// loses the race against completion leaves a fully valid result set, and
+// callers must not be made to discard it.
 func (p *Pool) Execute(ctx context.Context, runs []Run) ([]Result, error) {
 	results := make([]Result, len(runs))
 	if len(runs) == 0 {
-		return results, ctx.Err()
+		return results, nil
 	}
 	var (
-		next int64 = -1
-		done int64
-		mu   sync.Mutex // serializes OnProgress
-		wg   sync.WaitGroup
+		next    int64 = -1
+		done    int64
+		skipped int64
+		mu      sync.Mutex // serializes OnProgress
+		wg      sync.WaitGroup
 	)
 	for w := p.workerCount(len(runs)); w > 0; w-- {
 		wg.Add(1)
@@ -80,6 +84,7 @@ func (p *Pool) Execute(ctx context.Context, runs []Run) ([]Result, error) {
 				r := Result{Point: runs[i].Point}
 				if err := ctx.Err(); err != nil {
 					r.Err = err
+					atomic.AddInt64(&skipped, 1)
 				} else {
 					r.Outcome, r.Err = runner.Run(runs[i].Spec)
 				}
@@ -95,7 +100,10 @@ func (p *Pool) Execute(ctx context.Context, runs []Run) ([]Result, error) {
 		}()
 	}
 	wg.Wait()
-	return results, ctx.Err()
+	if atomic.LoadInt64(&skipped) > 0 {
+		return results, ctx.Err()
+	}
+	return results, nil
 }
 
 // ForEach applies fn to every index in [0, n) across the pool's workers,

@@ -465,3 +465,43 @@ func TestSweepBaselineMatchesBaselinePair(t *testing.T) {
 		t.Error("grid policy cell differs from BaselinePair policy run")
 	}
 }
+
+// Regression: a cancellation that arrives only after every run has
+// completed must not surface the context error — the result set is fully
+// valid and callers would otherwise discard it.
+func TestPoolLateCancellationKeepsResults(t *testing.T) {
+	loader := testLoader(40)
+	tr, err := loader("CTC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := make([]Run, 6)
+	for i := range runs {
+		runs[i] = Run{Point: Point{Index: i, Trace: "CTC"}, Spec: runner.Spec{Trace: tr}}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pool := &Pool{Workers: 1}
+	pool.OnProgress = func(done, total int, r Result) {
+		if done == total {
+			// Cancel while the last result is being reported: every run
+			// has already executed, none can be skipped.
+			cancel()
+		}
+	}
+	results, err := pool.Execute(ctx, runs)
+	if err != nil {
+		t.Fatalf("Execute returned %v for a fully completed sweep", err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("run %d carries error %v, want none", i, r.Err)
+		}
+	}
+	// And an empty sweep over an already-canceled context is not an error.
+	canceled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := pool.Execute(canceled, nil); err != nil {
+		t.Fatalf("empty Execute returned %v, want nil", err)
+	}
+}

@@ -140,6 +140,7 @@ func Generate(m Model) (*workload.Trace, error) {
 		req := m.drawRequest(rng, rt)
 		j := &workload.Job{
 			ID: i + 1, Procs: procs, Runtime: rt, ReqTime: req, Beta: -1, User: -1,
+			Status: workload.StatusCompleted,
 		}
 		if drawUser != nil {
 			j.User = drawUser()

@@ -94,17 +94,39 @@ func LLNLAtlas() Model {
 	}
 }
 
+// MillionJobs is the trace length of the large-scale stress preset.
+const MillionJobs = 1_000_000
+
+// Million returns a production-scale stress preset: one million mostly
+// small, short jobs on a 32K-processor machine at 85% offered load, with
+// on the order of ten thousand jobs running concurrently. It is NOT part
+// of the paper's evaluation (Presets) — it exists to exercise the
+// scheduler hot path at a scale where the seed implementation's O(trace)
+// event heap and O(running) completion removal dominated the wall clock.
+func Million() Model {
+	return Model{
+		Name: "Million", CPUs: 32768, Jobs: MillionJobs, Seed: 32768001,
+		Load: 0.85, ArrivalCV: 1.5,
+		SerialFrac: 0.7, MinProcs: 1, MaxProcs: 256, Pow2Frac: 0.5,
+		SizeLogMean: math.Log(2), SizeLogSigma: 1.0,
+		ShortFrac: 0.3, ShortMean: 120,
+		RtLogMean: math.Log(1800), RtLogSigma: 1.5, MaxRuntime: 12 * 3600,
+		AccurateFrac: 0.25, OverestMean: 1.5,
+	}
+}
+
 // Presets returns the five workload models in the paper's order.
 func Presets() []Model {
 	return []Model{CTC(), SDSC(), SDSCBlue(), LLNLThunder(), LLNLAtlas()}
 }
 
-// Preset looks a model up by case-insensitive name.
+// Preset looks a model up by case-insensitive name, including the
+// non-paper Million stress preset.
 func Preset(name string) (Model, error) {
-	for _, m := range Presets() {
+	for _, m := range append(Presets(), Million()) {
 		if strings.EqualFold(m.Name, name) {
 			return m, nil
 		}
 	}
-	return Model{}, fmt.Errorf("wgen: unknown workload %q (have CTC, SDSC, SDSCBlue, LLNLThunder, LLNLAtlas)", name)
+	return Model{}, fmt.Errorf("wgen: unknown workload %q (have CTC, SDSC, SDSCBlue, LLNLThunder, LLNLAtlas, Million)", name)
 }

@@ -26,7 +26,24 @@ type Job struct {
 	// the preprocessing the paper's "cleaned traces" received — operates
 	// per user.
 	User int
+	// Status classifies the job's completion on the original system, as
+	// recorded in SWF field 11. The zero value is StatusUnknown, so
+	// hand-built traces are never accidentally marked failed; ParseSWF
+	// and WriteSWF translate to and from the SWF on-disk encoding
+	// (1 completed, 0 failed, 5 canceled, -1 missing). The simulator
+	// itself ignores Status; it only drives the opt-in replay filters
+	// (SWFFilter, RemoveFailed).
+	Status int
 }
+
+// Job completion statuses (internal encoding; the zero value is unknown
+// by design — see Job.Status for the SWF on-disk mapping).
+const (
+	StatusUnknown = iota
+	StatusCompleted
+	StatusFailed
+	StatusCanceled
+)
 
 // Validate reports the first problem with the job's fields, or nil.
 func (j *Job) Validate() error {

@@ -24,12 +24,41 @@ import (
 // Missing values are encoded as -1. Comment and header lines start with
 // ';'. Header directives of the form "; MaxProcs: N" carry the system size.
 
+// SWFFilter selects which jobs of an SWF log survive parsing, keyed on
+// field 11 (status). The zero value keeps everything, matching the raw
+// log; replays of cleaned traces typically drop failed jobs, whose
+// recorded runtimes do not represent useful work.
+type SWFFilter struct {
+	// DropFailed skips jobs with status 0 (failed).
+	DropFailed bool
+	// DropCanceled skips jobs with status 5 (canceled before start).
+	DropCanceled bool
+}
+
+// keep reports whether a job with the given SWF status passes the filter.
+func (f SWFFilter) keep(status int) bool {
+	if f.DropFailed && status == StatusFailed {
+		return false
+	}
+	if f.DropCanceled && status == StatusCanceled {
+		return false
+	}
+	return true
+}
+
 // ParseSWF reads a trace in Standard Workload Format. The system size is
 // taken from the MaxProcs header when present; otherwise cpus must be
 // supplied by the caller (pass 0 to require the header). Jobs with
 // non-positive runtime or processor counts are skipped, mirroring the
-// "cleaned" traces the paper uses.
+// "cleaned" traces the paper uses. Every completion status is kept; use
+// ParseSWFFiltered to drop failed or canceled jobs.
 func ParseSWF(r io.Reader, name string, cpus int) (*Trace, error) {
+	return ParseSWFFiltered(r, name, cpus, SWFFilter{})
+}
+
+// ParseSWFFiltered reads a trace in Standard Workload Format, dropping
+// jobs the status filter excludes.
+func ParseSWFFiltered(r io.Reader, name string, cpus int, filter SWFFilter) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	tr := &Trace{Name: name, CPUs: cpus}
@@ -64,9 +93,16 @@ func ParseSWF(r io.Reader, name string, cpus int) (*Trace, error) {
 			Runtime: vals[3],
 			Beta:    -1,
 			User:    -1,
+			Status:  StatusUnknown,
+		}
+		if len(vals) >= 11 {
+			job.Status = statusFromSWF(int(vals[10])) // field 11
 		}
 		if len(vals) >= 12 && vals[11] >= 0 {
 			job.User = int(vals[11]) // field 12: user ID
+		}
+		if !filter.keep(job.Status) {
+			continue
 		}
 		// Processors: prefer the requested count (field 8) when valid,
 		// else the allocated count (field 5), following PWA conventions.
@@ -96,6 +132,34 @@ func ParseSWF(r io.Reader, name string, cpus int) (*Trace, error) {
 	return tr, nil
 }
 
+// statusFromSWF maps SWF field 11 onto the internal Status encoding.
+// Unrecognized values (including the partial-execution codes 2–4 some
+// logs use) read as unknown, which no filter drops.
+func statusFromSWF(v int) int {
+	switch v {
+	case 0:
+		return StatusFailed
+	case 1:
+		return StatusCompleted
+	case 5:
+		return StatusCanceled
+	}
+	return StatusUnknown
+}
+
+// statusToSWF maps the internal Status encoding onto SWF field 11.
+func statusToSWF(s int) int {
+	switch s {
+	case StatusFailed:
+		return 0
+	case StatusCompleted:
+		return 1
+	case StatusCanceled:
+		return 5
+	}
+	return -1
+}
+
 func swfHeaderInt(line, key string) (int, bool) {
 	rest := strings.TrimLeft(line, "; \t")
 	if !strings.HasPrefix(rest, key) {
@@ -116,6 +180,8 @@ func swfHeaderInt(line, key string) (int, bool) {
 
 // WriteSWF writes the trace in Standard Workload Format, including a
 // MaxProcs header, so generated traces can be consumed by other SWF tools.
+// The completion status column carries each job's Status, so statuses
+// round-trip through a write/parse cycle.
 func WriteSWF(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "; SWF trace %s\n", t.Name)
@@ -124,9 +190,9 @@ func WriteSWF(w io.Writer, t *Trace) error {
 	for _, j := range t.Jobs {
 		// job submit wait run procs avgcpu mem reqprocs reqtime reqmem
 		// status uid gid exe queue partition prevjob thinktime
-		if _, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 1 %d -1 -1 -1 -1 -1 -1\n",
+		if _, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 %d %d -1 -1 -1 -1 -1 -1\n",
 			j.ID, int64(j.Submit), int64(j.Runtime+0.5), j.Procs, j.Procs,
-			int64(j.ReqTime+0.5), j.User); err != nil {
+			int64(j.ReqTime+0.5), statusToSWF(j.Status), j.User); err != nil {
 			return err
 		}
 	}

@@ -129,3 +129,128 @@ func TestSWFHeaderParsing(t *testing.T) {
 		t.Error("non-numeric header value accepted")
 	}
 }
+
+// The SWF status (field 11) is parsed, preserved by WriteSWF, and drives
+// the opt-in replay filter; the package doc has always listed it as
+// relevant, but the seed parser never read it.
+func TestSWFStatusParsedAndFiltered(t *testing.T) {
+	const log = `; MaxProcs: 64
+1 0 -1 100 4 -1 -1 4 200 -1 1 7 -1 -1 -1 -1 -1 -1
+2 10 -1 50 2 -1 -1 2 100 -1 0 7 -1 -1 -1 -1 -1 -1
+3 20 -1 60 2 -1 -1 2 100 -1 5 8 -1 -1 -1 -1 -1 -1
+4 30 -1 70 2 -1 -1 2 100 -1 -1 8 -1 -1 -1 -1 -1 -1
+`
+	raw, err := ParseSWF(strings.NewReader(log), "status", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Jobs) != 4 {
+		t.Fatalf("unfiltered parse kept %d jobs, want 4", len(raw.Jobs))
+	}
+	wantStatus := []int{StatusCompleted, StatusFailed, StatusCanceled, StatusUnknown}
+	for i, j := range raw.Jobs {
+		if j.Status != wantStatus[i] {
+			t.Errorf("job %d status = %d, want %d", j.ID, j.Status, wantStatus[i])
+		}
+	}
+
+	noFailed, err := ParseSWFFiltered(strings.NewReader(log), "status", 0, SWFFilter{DropFailed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := jobIDs(noFailed); !equalInts(ids, []int{1, 3, 4}) {
+		t.Errorf("DropFailed kept %v, want [1 3 4]", ids)
+	}
+	neither, err := ParseSWFFiltered(strings.NewReader(log), "status", 0,
+		SWFFilter{DropFailed: true, DropCanceled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := jobIDs(neither); !equalInts(ids, []int{1, 4}) {
+		t.Errorf("DropFailed+DropCanceled kept %v, want [1 4]", ids)
+	}
+}
+
+func jobIDs(t *Trace) []int {
+	ids := make([]int, len(t.Jobs))
+	for i, j := range t.Jobs {
+		ids[i] = j.ID
+	}
+	return ids
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Statuses survive a write/parse/write cycle bit-for-bit, and a filtered
+// reparse of written output drops exactly the failed jobs.
+func TestSWFStatusRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "rt", CPUs: 32, Jobs: []*Job{
+		{ID: 1, Submit: 0, Runtime: 100, Procs: 4, ReqTime: 200, Beta: -1, User: -1, Status: StatusCompleted},
+		{ID: 2, Submit: 60, Runtime: 50, Procs: 2, ReqTime: 100, Beta: -1, User: 3, Status: StatusFailed},
+		{ID: 3, Submit: 120, Runtime: 70, Procs: 2, ReqTime: 100, Beta: -1, User: 3, Status: StatusCanceled},
+	}}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	got, err := ParseSWF(strings.NewReader(first), "rt", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range got.Jobs {
+		if j.Status != orig.Jobs[i].Status {
+			t.Errorf("job %d status = %d, want %d", j.ID, j.Status, orig.Jobs[i].Status)
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := WriteSWF(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Errorf("second write differs from first:\n%s\nvs\n%s", buf2.String(), first)
+	}
+	filtered, err := ParseSWFFiltered(strings.NewReader(first), "rt", 0, SWFFilter{DropFailed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := jobIDs(filtered); !equalInts(ids, []int{1, 3}) {
+		t.Errorf("filtered reparse kept %v, want [1 3]", ids)
+	}
+}
+
+// A hand-built job that never sets Status must survive a write/parse
+// cycle with DropFailed enabled: the zero value is "unknown", not
+// "failed", so filters cannot silently empty programmatic traces.
+func TestSWFZeroValueStatusIsNotFailed(t *testing.T) {
+	tr := &Trace{Name: "zv", CPUs: 8, Jobs: []*Job{
+		{ID: 1, Submit: 0, Runtime: 10, Procs: 1, ReqTime: 10, Beta: -1, User: -1},
+	}}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSWFFiltered(strings.NewReader(buf.String()), "zv", 0, SWFFilter{DropFailed: true, DropCanceled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != 1 {
+		t.Fatalf("kept %d jobs, want 1 (zero-value status must not be dropped)", len(got.Jobs))
+	}
+	if got.Jobs[0].Status != StatusUnknown {
+		t.Errorf("status = %d, want StatusUnknown", got.Jobs[0].Status)
+	}
+	if _, removed := RemoveFailed(got); removed != 0 {
+		t.Errorf("RemoveFailed removed %d unknown-status jobs, want 0", removed)
+	}
+}
