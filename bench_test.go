@@ -439,6 +439,49 @@ func BenchmarkHotPathSeedVsOptimized(b *testing.B) {
 	}
 }
 
+// BenchmarkConservativeMillionPreset replays Million-preset trace
+// segments under conservative backfilling, the variant that replans every
+// queued job against the availability profile each pass. It quantifies
+// the profile overhaul: the seed path insertion-sorts two deltas per
+// occupancy entry into a flat list — O(n) memmoves per entry, O(n²) per
+// replanning pass over n running jobs — and re-sorts the release list
+// from scratch every pass, while the optimized path bulk-loads the
+// incrementally maintained (PlannedEnd, id)-sorted release schedule in
+// one pass and appends reservations through the profile's deferred-merge
+// pending tier. Results are recorded in BENCH_sched.json; the schedules
+// are byte-identical across modes (internal/sched determinism tests).
+func BenchmarkConservativeMillionPreset(b *testing.B) {
+	for _, jobs := range []int{10_000, 40_000} {
+		for _, mode := range []struct {
+			name   string
+			compat sched.Compat
+		}{
+			{"seed", sched.SeedCompat()},
+			{"optimized", sched.Compat{}},
+		} {
+			b.Run(fmt.Sprintf("jobs=%d/%s", jobs, mode.name), func(b *testing.B) {
+				tr := benchTrace(b, "Million", jobs)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, err := runner.Run(runner.Spec{
+						Trace:   tr,
+						Variant: sched.Conservative,
+						Compat:  mode.compat,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if out.Results.Jobs != jobs {
+						b.Fatalf("completed %d jobs, want %d", out.Results.Jobs, jobs)
+					}
+				}
+				b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+			})
+		}
+	}
+}
+
 // --- ablations ------------------------------------------------------------
 
 const ablationJobs = 2000

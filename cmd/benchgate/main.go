@@ -1,0 +1,147 @@
+// Command benchgate guards the scheduler hot path's throughput in CI: it
+// parses `go test -bench` output and compares the Million-preset
+// seed-vs-optimized speedup ratio against the last committed entry of
+// BENCH_sched.json. A drop beyond the allowed fraction fails the build.
+//
+// The gate is a ratio, not absolute jobs/s, on purpose: both modes run
+// in the same bench invocation on the same host, so dividing them
+// cancels runner hardware out — a slow CI machine scales both numbers
+// down together, while an accidental O(n²) hiding in the optimized pass
+// loop craters only the numerator. Absolute thresholds would instead
+// track whatever hardware CI happens to land on.
+//
+// Usage:
+//
+//	go test -run '^$' -bench HotPathSeedVsOptimized -benchtime 1x . | tee bench.out
+//	go run ./cmd/benchgate -bench bench.out
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchFile mirrors the subset of BENCH_sched.json the gate needs.
+type benchFile struct {
+	Entries []struct {
+		PR        int    `json:"pr"`
+		Benchmark string `json:"benchmark"`
+		Results   []struct {
+			Jobs     int     `json:"jobs"`
+			Mode     string  `json:"mode"`
+			JobsPerS float64 `json:"jobs_per_s"`
+		} `json:"results"`
+	} `json:"entries"`
+}
+
+func main() {
+	var (
+		benchPath  = flag.String("bench", "bench.out", "go test -bench output to scan")
+		basePath   = flag.String("baseline", "BENCH_sched.json", "committed performance trajectory")
+		benchmark  = flag.String("benchmark", "BenchmarkHotPathSeedVsOptimized", "benchmark to gate on")
+		jobs       = flag.Int("jobs", 1_000_000, "Million-preset job count of the gated sub-runs")
+		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed fractional drop of the optimized/seed speedup")
+	)
+	flag.Parse()
+
+	baseRatio, err := baselineRatio(*basePath, *benchmark, *jobs)
+	if err != nil {
+		fatal(err)
+	}
+	prefix := fmt.Sprintf("%s/jobs=%d/", *benchmark, *jobs)
+	seed, err := measuredJobsPerSec(*benchPath, prefix+"seed")
+	if err != nil {
+		fatal(err)
+	}
+	opt, err := measuredJobsPerSec(*benchPath, prefix+"optimized")
+	if err != nil {
+		fatal(err)
+	}
+	ratio := opt / seed
+	floor := baseRatio * (1 - *maxRegress)
+	fmt.Printf("benchgate: optimized/seed speedup %.2fx (optimized %.0f, seed %.0f jobs/s); baseline %.2fx, floor %.2fx\n",
+		ratio, opt, seed, baseRatio, floor)
+	if ratio < floor {
+		fatal(fmt.Errorf("speedup regressed %.1f%% (> %.0f%% allowed): %.2fx < %.2fx",
+			100*(1-ratio/baseRatio), 100**maxRegress, ratio, floor))
+	}
+	fmt.Println("benchgate: ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}
+
+// baselineRatio returns optimized/seed jobs/s from the newest
+// BENCH_sched.json entry of the benchmark carrying both rows at the
+// given job count.
+func baselineRatio(path, benchmark string, jobs int) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for i := len(bf.Entries) - 1; i >= 0; i-- {
+		if bf.Entries[i].Benchmark != benchmark {
+			continue
+		}
+		var seed, opt float64
+		for _, r := range bf.Entries[i].Results {
+			if r.Jobs != jobs {
+				continue
+			}
+			switch r.Mode {
+			case "seed":
+				seed = r.JobsPerS
+			case "optimized":
+				opt = r.JobsPerS
+			}
+		}
+		if seed > 0 && opt > 0 {
+			return opt / seed, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: no %s entry with seed+optimized rows at jobs=%d", path, benchmark, jobs)
+}
+
+// measuredJobsPerSec scans go-test bench output for the target sub-run
+// and returns the value reported with the jobs/s unit. Benchmark lines
+// read: Name-P  N  <value> <unit>  <value> <unit> ...
+func measuredJobsPerSec(path, target string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], target) {
+			continue
+		}
+		for i := 2; i < len(fields)-1; i++ {
+			if fields[i+1] == "jobs/s" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return 0, fmt.Errorf("parsing %q: %w", fields[i], err)
+				}
+				return v, nil
+			}
+		}
+		return 0, fmt.Errorf("bench line for %s carries no jobs/s metric", target)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("%s: no bench line matching %s", path, target)
+}

@@ -10,10 +10,75 @@ import (
 	"fmt"
 )
 
-// Alloc is a concrete assignment of processors to a job.
-type Alloc struct {
-	IDs []int // processor identifiers, ascending
+// Run is a maximal contiguous interval of processor IDs: every processor
+// in [Lo, Hi] (inclusive) belongs to the allocation.
+type Run struct {
+	Lo, Hi int
 }
+
+// Len returns the number of processors in the run.
+func (r Run) Len() int { return r.Hi - r.Lo + 1 }
+
+// Alloc is a concrete assignment of processors to a job, stored as
+// run-length intervals. Runs are ascending by Lo, pairwise disjoint, and
+// maximal (adjacent runs are always merged), so len(Runs) is exactly the
+// placement-contiguity count the metrics layer reports. First Fit packs
+// jobs into very few runs, which is why interval storage replaces the
+// seed-era explicit []int: a 1024-processor job is one 16-byte Run
+// instead of an 8 KiB ID slice held alive for the job's whole lifetime.
+type Alloc struct {
+	Runs []Run
+}
+
+// Count returns the number of processors in the allocation.
+func (a Alloc) Count() int {
+	n := 0
+	for _, r := range a.Runs {
+		n += r.Len()
+	}
+	return n
+}
+
+// IDs materializes the allocation's processor identifiers in ascending
+// order. It allocates and exists for tests and debugging; hot paths
+// iterate Runs directly.
+func (a Alloc) IDs() []int {
+	ids := make([]int, 0, a.Count())
+	for _, r := range a.Runs {
+		for id := r.Lo; id <= r.Hi; id++ {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// AllocOf builds an allocation from explicit processor IDs, merging
+// consecutive ascending IDs into runs. IDs are taken in the given order,
+// so a duplicated or descending ID produces an extra (possibly
+// overlapping) run — Release rejects such allocations, which is exactly
+// what the double-release tests construct. Test helper; production
+// allocations come from Cluster.Allocate.
+func AllocOf(ids ...int) Alloc {
+	var a Alloc
+	for _, id := range ids {
+		a.Runs = appendRun(a.Runs, id)
+	}
+	return a
+}
+
+// appendRunInterval extends a run list with [lo, hi], merging into the
+// last run when lo extends it by one. Intervals must arrive ascending
+// and non-overlapping for the result to be canonical.
+func appendRunInterval(runs []Run, lo, hi int) []Run {
+	if k := len(runs); k > 0 && runs[k-1].Hi+1 == lo {
+		runs[k-1].Hi = hi
+		return runs
+	}
+	return append(runs, Run{Lo: lo, Hi: hi})
+}
+
+// appendRun is appendRunInterval for a single processor ID.
+func appendRun(runs []Run, id int) []Run { return appendRunInterval(runs, id, id) }
 
 // intHeap is a min-heap of processor IDs backing the First Fit free list.
 // It is hand-rolled rather than built on container/heap: the interface
@@ -80,6 +145,10 @@ type Cluster struct {
 	nfree   int
 	cursor  int // next-fit scan position
 
+	// scanScratch stages the runs of a next-fit circular scan so the
+	// final run list can be emitted in ascending order without allocating.
+	scanScratch []Run
+
 	busy         int
 	lastChange   float64
 	busyIntegral float64 // Σ busy · dt, CPU-seconds
@@ -134,70 +203,112 @@ func (c *Cluster) Busy() int { return c.busy }
 // selection policy. It fails if fewer than n processors are free or time
 // runs backwards.
 func (c *Cluster) Allocate(n int, now float64) (Alloc, error) {
+	var a Alloc
+	if err := c.AllocateInto(&a, n, now); err != nil {
+		return Alloc{}, err
+	}
+	return a, nil
+}
+
+// AllocateInto is Allocate writing its result into a, reusing a.Runs'
+// capacity. It is the zero-allocation path the scheduler uses with pooled
+// run states; any previous contents of a are discarded.
+func (c *Cluster) AllocateInto(a *Alloc, n int, now float64) error {
 	if n < 1 || n > c.nfree {
-		return Alloc{}, fmt.Errorf("cluster: cannot allocate %d of %d free processors", n, c.nfree)
+		a.Runs = a.Runs[:0]
+		return fmt.Errorf("cluster: cannot allocate %d of %d free processors", n, c.nfree)
 	}
 	if now < c.lastChange {
-		return Alloc{}, fmt.Errorf("cluster: time moved backwards (%v < %v)", now, c.lastChange)
+		a.Runs = a.Runs[:0]
+		return fmt.Errorf("cluster: time moved backwards (%v < %v)", now, c.lastChange)
 	}
 	c.advance(now)
-	var ids []int
+	runs := a.Runs[:0]
 	switch c.sel {
 	case FirstFit:
-		ids = make([]int, n)
+		// Min-heap pops yield IDs ascending, so runs build canonically.
 		for i := 0; i < n; i++ {
-			ids[i] = c.free.pop()
+			id := c.free.pop()
+			c.freeMap[id] = false
+			runs = appendRun(runs, id)
 		}
 	case ContiguousBestFit:
-		ids = c.selectContiguous(n)
+		runs = c.selectContiguous(runs, n)
 	case NextFit:
-		ids = c.selectNextFit(n)
+		runs = c.selectNextFit(runs, n)
 	}
-	if len(ids) != n {
-		return Alloc{}, fmt.Errorf("cluster: selection %v produced %d of %d processors", c.sel, len(ids), n)
-	}
-	for _, id := range ids {
-		c.freeMap[id] = false
+	a.Runs = runs
+	got := a.Count()
+	if got != n {
+		// Selection invariant broken: undo the marks and leave the
+		// cluster untouched.
+		for _, r := range runs {
+			for id := r.Lo; id <= r.Hi; id++ {
+				c.freeMap[id] = true
+				if c.sel == FirstFit {
+					c.free.push(id)
+				}
+			}
+		}
+		a.Runs = a.Runs[:0]
+		return fmt.Errorf("cluster: selection %v produced %d of %d processors", c.sel, got, n)
 	}
 	c.nfree -= n
 	c.busy += n
-	return Alloc{IDs: ids}, nil
+	return nil
 }
 
 // Release returns an allocation's processors to the free pool at time now.
 // Every selection policy tracks per-processor ownership, so releasing a
-// processor that is already free — including a duplicate ID within the
+// processor that is already free — including overlapping runs within the
 // same allocation — is rejected without mutating the cluster state.
 func (c *Cluster) Release(a Alloc, now float64) error {
 	if now < c.lastChange {
 		return fmt.Errorf("cluster: time moved backwards (%v < %v)", now, c.lastChange)
 	}
-	if c.busy < len(a.IDs) {
-		return fmt.Errorf("cluster: releasing %d processors with only %d busy", len(a.IDs), c.busy)
+	n := a.Count()
+	if c.busy < n {
+		return fmt.Errorf("cluster: releasing %d processors with only %d busy", n, c.busy)
 	}
-	// Check-and-mark in one pass so a duplicate ID inside a.IDs is caught;
+	// Check-and-mark in one pass so an overlap inside a.Runs is caught;
 	// roll the marks back on error to leave the ledger untouched.
-	for i, id := range a.IDs {
-		if id < 0 || id >= c.total || c.freeMap[id] {
-			for _, done := range a.IDs[:i] {
-				c.freeMap[done] = false
-			}
-			if id < 0 || id >= c.total {
-				return fmt.Errorf("cluster: releasing foreign processor %d", id)
-			}
-			return fmt.Errorf("cluster: double release of processor %d", id)
+	for ri, r := range a.Runs {
+		if r.Lo < 0 || r.Hi >= c.total || r.Lo > r.Hi {
+			c.rollbackRelease(a.Runs[:ri], r, r.Lo-1)
+			return fmt.Errorf("cluster: releasing foreign processor run [%d,%d]", r.Lo, r.Hi)
 		}
-		c.freeMap[id] = true
+		for id := r.Lo; id <= r.Hi; id++ {
+			if c.freeMap[id] {
+				c.rollbackRelease(a.Runs[:ri], r, id-1)
+				return fmt.Errorf("cluster: double release of processor %d", id)
+			}
+			c.freeMap[id] = true
+		}
 	}
 	c.advance(now)
 	if c.sel == FirstFit {
-		for _, id := range a.IDs {
-			c.free.push(id)
+		for _, r := range a.Runs {
+			for id := r.Lo; id <= r.Hi; id++ {
+				c.free.push(id)
+			}
 		}
 	}
-	c.nfree += len(a.IDs)
-	c.busy -= len(a.IDs)
+	c.nfree += n
+	c.busy -= n
 	return nil
+}
+
+// rollbackRelease un-marks the fully processed runs plus the partial run
+// cur up to and including lastDone (exclusive marks are restored).
+func (c *Cluster) rollbackRelease(done []Run, cur Run, lastDone int) {
+	for _, r := range done {
+		for id := r.Lo; id <= r.Hi; id++ {
+			c.freeMap[id] = false
+		}
+	}
+	for id := cur.Lo; id <= lastDone; id++ {
+		c.freeMap[id] = false
+	}
 }
 
 // advance accrues the busy integral up to now.

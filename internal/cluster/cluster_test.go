@@ -29,23 +29,23 @@ func TestFirstFitLowestIDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, id := range a.IDs {
+	for i, id := range a.IDs() {
 		if id != i {
-			t.Errorf("first allocation IDs = %v, want [0 1 2]", a.IDs)
+			t.Errorf("first allocation IDs = %v, want [0 1 2]", a.IDs())
 			break
 		}
 	}
 	b, _ := c.Allocate(2, 0)
-	if b.IDs[0] != 3 || b.IDs[1] != 4 {
-		t.Errorf("second allocation IDs = %v, want [3 4]", b.IDs)
+	if b.IDs()[0] != 3 || b.IDs()[1] != 4 {
+		t.Errorf("second allocation IDs = %v, want [3 4]", b.IDs())
 	}
 	// Release the first block; next allocation must reuse the lowest IDs.
 	if err := c.Release(a, 1); err != nil {
 		t.Fatal(err)
 	}
 	d, _ := c.Allocate(2, 1)
-	if d.IDs[0] != 0 || d.IDs[1] != 1 {
-		t.Errorf("post-release allocation IDs = %v, want [0 1] (First Fit)", d.IDs)
+	if d.IDs()[0] != 0 || d.IDs()[1] != 1 {
+		t.Errorf("post-release allocation IDs = %v, want [0 1] (First Fit)", d.IDs())
 	}
 }
 
@@ -66,7 +66,7 @@ func TestAllocateExhaustion(t *testing.T) {
 func TestReleaseValidation(t *testing.T) {
 	c := New(4)
 	a, _ := c.Allocate(2, 0)
-	if err := c.Release(Alloc{IDs: []int{99}}, 1); err == nil {
+	if err := c.Release(AllocOf(99), 1); err == nil {
 		t.Error("foreign processor release accepted")
 	}
 	if err := c.Release(a, 1); err != nil {
@@ -156,7 +156,7 @@ func TestQuickAllocReleaseInvariants(t *testing.T) {
 			}
 			seen := make(map[int]bool)
 			for _, a := range live {
-				for _, id := range a.IDs {
+				for _, id := range a.IDs() {
 					if seen[id] || id < 0 || id >= total {
 						return false
 					}
@@ -168,6 +168,34 @@ func TestQuickAllocReleaseInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+// AllocateInto must reuse the destination's run capacity: after a warmup
+// allocation, re-allocating through the same Alloc performs no new slice
+// allocation and fully overwrites the previous contents.
+func TestAllocateIntoReusesCapacity(t *testing.T) {
+	c := New(16)
+	var a Alloc
+	if err := c.AllocateInto(&a, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := c.AllocateInto(&a, 4, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Release(a, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("AllocateInto allocated %.1f objects per cycle, want 0", allocs)
+	}
+	if got := a.IDs(); !equalInts(got, []int{0, 1, 2, 3}) {
+		t.Errorf("reused allocation IDs = %v, want [0 1 2 3]", got)
 	}
 }
 
@@ -232,7 +260,7 @@ func TestDoubleReleaseRejectedAllPolicies(t *testing.T) {
 				sel, c.FreeCount(), c.Busy())
 		}
 		// A duplicate ID within one allocation is also a double release.
-		dup := Alloc{IDs: []int{b.IDs[0], b.IDs[0]}}
+		dup := AllocOf(b.IDs()[0], b.IDs()[0])
 		if err := c.Release(dup, 3); err == nil {
 			t.Fatalf("%v: duplicate-ID release accepted", sel)
 		}
@@ -252,7 +280,7 @@ func TestDoubleReleaseRejectedAllPolicies(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: full allocation failed: %v", sel, err)
 		}
-		for _, id := range all.IDs {
+		for _, id := range all.IDs() {
 			if seen[id] {
 				t.Fatalf("%v: processor %d allocated twice", sel, id)
 			}

@@ -9,6 +9,10 @@ import "fmt"
 // but it decides placement contiguity (relevant for interconnect locality
 // and for how well idle processors coalesce for power-down), so the
 // selection layer is reproduced with the common alternatives.
+//
+// Every selector emits run-length intervals directly and marks the
+// ownership bitmap as it goes; none of them materializes per-processor ID
+// slices.
 
 // Selection identifies a resource selection policy.
 type Selection int
@@ -52,25 +56,18 @@ func ParseSelection(name string) (Selection, error) {
 	return 0, fmt.Errorf("cluster: unknown selection policy %q (firstfit, contiguous, nextfit)", name)
 }
 
-// Runs returns the number of maximal contiguous ID runs in the
-// allocation — 1 means fully contiguous placement. IDs must be ascending,
-// which Allocate guarantees.
-func (a Alloc) Runs() int {
-	if len(a.IDs) == 0 {
-		return 0
+// takeRun marks [lo, hi] allocated and appends it to the run list,
+// merging with an adjacent predecessor.
+func (c *Cluster) takeRun(runs []Run, lo, hi int) []Run {
+	for id := lo; id <= hi; id++ {
+		c.freeMap[id] = false
 	}
-	runs := 1
-	for i := 1; i < len(a.IDs); i++ {
-		if a.IDs[i] != a.IDs[i-1]+1 {
-			runs++
-		}
-	}
-	return runs
+	return appendRunInterval(runs, lo, hi)
 }
 
 // selectContiguous picks n processors from the free bitmap preferring the
 // tightest contiguous fit.
-func (c *Cluster) selectContiguous(n int) []int {
+func (c *Cluster) selectContiguous(dst []Run, n int) []Run {
 	bestStart, bestLen := -1, int(^uint(0)>>1)
 	runStart := -1
 	for i := 0; i <= c.total; i++ {
@@ -87,50 +84,73 @@ func (c *Cluster) selectContiguous(n int) []int {
 		}
 	}
 	if bestStart >= 0 {
-		ids := make([]int, n)
-		for i := range ids {
-			ids[i] = bestStart + i
-		}
-		return ids
+		return c.takeRun(dst, bestStart, bestStart+n-1)
 	}
 	// No single run fits: gather lowest free IDs (First Fit fallback).
-	return c.selectLowest(n)
+	return c.selectLowest(dst, n)
 }
 
 // selectNextFit scans circularly from the cursor left by the previous
-// allocation.
-func (c *Cluster) selectNextFit(n int) []int {
-	ids := make([]int, 0, n)
-	for off := 0; off < c.total && len(ids) < n; off++ {
-		i := (c.cursor + off) % c.total
-		if c.freeMap[i] {
-			ids = append(ids, i)
+// allocation. Scan order is high segment [cursor, total) then the wrapped
+// low segment [0, cursor); the wrapped runs must precede the high-segment
+// runs in the ascending result, so the scan stages runs in a reused
+// scratch list and stitches them in order, merging across the cursor
+// boundary when the two segments touch.
+func (c *Cluster) selectNextFit(dst []Run, n int) []Run {
+	scan := c.scanScratch[:0]
+	count := 0
+	last := -1
+	collect := func(from, to int) {
+		for i := from; i < to && count < n; i++ {
+			if c.freeMap[i] {
+				c.freeMap[i] = false
+				count++
+				last = i
+				scan = appendRun(scan, i)
+			}
 		}
 	}
-	if len(ids) > 0 {
-		c.cursor = (ids[len(ids)-1] + 1) % c.total
+	collect(c.cursor, c.total)
+	k := len(scan) // runs collected from the high segment
+	collect(0, c.cursor)
+	c.scanScratch = scan
+	if count == 0 {
+		return dst
 	}
-	sortInts(ids)
-	return ids
+	c.cursor = (last + 1) % c.total
+	low, high := scan[k:], scan[:k]
+	dst = append(dst, low...)
+	for _, r := range high {
+		dst = appendRunInterval(dst, r.Lo, r.Hi)
+	}
+	return dst
 }
 
 // selectLowest gathers the n lowest free IDs from the bitmap.
-func (c *Cluster) selectLowest(n int) []int {
-	ids := make([]int, 0, n)
-	for i := 0; i < c.total && len(ids) < n; i++ {
+func (c *Cluster) selectLowest(dst []Run, n int) []Run {
+	count := 0
+	runStart := -1
+	for i := 0; i < c.total && count < n; i++ {
 		if c.freeMap[i] {
-			ids = append(ids, i)
+			if runStart < 0 {
+				runStart = i
+			}
+			count++
+			if count == n {
+				dst = c.takeRun(dst, runStart, i)
+				runStart = -1
+			}
+			continue
+		}
+		if runStart >= 0 {
+			dst = c.takeRun(dst, runStart, i-1)
+			runStart = -1
 		}
 	}
-	return ids
-}
-
-// sortInts is insertion sort: allocations are small or nearly sorted, and
-// this avoids pulling package sort into the hot path.
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
+	if runStart >= 0 {
+		// Scan hit the machine end mid-run; close it there. Allocate
+		// guards n <= nfree, so count == n here.
+		dst = c.takeRun(dst, runStart, c.total-1)
 	}
+	return dst
 }

@@ -48,10 +48,29 @@ func TestAllocRuns(t *testing.T) {
 		{[]int{0, 2, 4}, 3},
 	}
 	for _, c := range cases {
-		if got := (Alloc{IDs: c.ids}).Runs(); got != c.want {
-			t.Errorf("Runs(%v) = %d, want %d", c.ids, got, c.want)
+		a := AllocOf(c.ids...)
+		if got := len(a.Runs); got != c.want {
+			t.Errorf("len(AllocOf(%v).Runs) = %d, want %d", c.ids, got, c.want)
+		}
+		if got := a.IDs(); !equalInts(got, c.ids) {
+			t.Errorf("AllocOf(%v).IDs() = %v", c.ids, got)
+		}
+		if got := a.Count(); got != len(c.ids) {
+			t.Errorf("AllocOf(%v).Count() = %d, want %d", c.ids, got, len(c.ids))
 		}
 	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestContiguousBestFitPicksTightestRun(t *testing.T) {
@@ -60,9 +79,9 @@ func TestContiguousBestFitPicksTightestRun(t *testing.T) {
 	a1, _ := c.Allocate(16, 0)
 	c.Release(a1, 0) // warm the path; everything free again
 	hold1, _ := c.Allocate(16, 1)
-	c.Release(Alloc{IDs: []int{0, 1, 2, 3}}, 1)
-	c.Release(Alloc{IDs: []int{6, 7, 8}}, 1)
-	c.Release(Alloc{IDs: []int{13, 14, 15}}, 1)
+	c.Release(AllocOf(0, 1, 2, 3), 1)
+	c.Release(AllocOf(6, 7, 8), 1)
+	c.Release(AllocOf(13, 14, 15), 1)
 	_ = hold1
 	// Free runs: [0..3] (4), [6..8] (3), [13..15] (3). A 3-wide job must
 	// take one of the tight 3-runs, not split the 4-run.
@@ -70,11 +89,11 @@ func TestContiguousBestFitPicksTightestRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Runs() != 1 {
-		t.Fatalf("allocation %v not contiguous", got.IDs)
+	if len(got.Runs) != 1 {
+		t.Fatalf("allocation %v not contiguous", got.IDs())
 	}
-	if got.IDs[0] != 6 {
-		t.Errorf("allocation %v, want the tightest run starting at 6", got.IDs)
+	if got.IDs()[0] != 6 {
+		t.Errorf("allocation %v, want the tightest run starting at 6", got.IDs())
 	}
 }
 
@@ -82,8 +101,8 @@ func TestContiguousFallbackSpansRuns(t *testing.T) {
 	c := mustCluster(t, 8, ContiguousBestFit)
 	all, _ := c.Allocate(8, 0)
 	_ = all
-	c.Release(Alloc{IDs: []int{0, 1}}, 0)
-	c.Release(Alloc{IDs: []int{4, 5}}, 0)
+	c.Release(AllocOf(0, 1), 0)
+	c.Release(AllocOf(4, 5), 0)
 	// No contiguous run of 3 exists; fallback takes lowest IDs.
 	got, err := c.Allocate(3, 1)
 	if err != nil {
@@ -91,8 +110,8 @@ func TestContiguousFallbackSpansRuns(t *testing.T) {
 	}
 	want := []int{0, 1, 4}
 	for i, id := range want {
-		if got.IDs[i] != id {
-			t.Fatalf("fallback allocation %v, want %v", got.IDs, want)
+		if got.IDs()[i] != id {
+			t.Fatalf("fallback allocation %v, want %v", got.IDs(), want)
 		}
 	}
 }
@@ -100,20 +119,20 @@ func TestContiguousFallbackSpansRuns(t *testing.T) {
 func TestNextFitAdvancesCursor(t *testing.T) {
 	c := mustCluster(t, 8, NextFit)
 	a, _ := c.Allocate(3, 0) // takes 0,1,2; cursor at 3
-	if a.IDs[0] != 0 || a.IDs[2] != 2 {
-		t.Fatalf("first allocation %v", a.IDs)
+	if a.IDs()[0] != 0 || a.IDs()[2] != 2 {
+		t.Fatalf("first allocation %v", a.IDs())
 	}
 	b, _ := c.Allocate(2, 0) // takes 3,4
-	if b.IDs[0] != 3 || b.IDs[1] != 4 {
-		t.Fatalf("second allocation %v, want [3 4]", b.IDs)
+	if b.IDs()[0] != 3 || b.IDs()[1] != 4 {
+		t.Fatalf("second allocation %v, want [3 4]", b.IDs())
 	}
 	c.Release(a, 1)
 	// Cursor at 5: next allocation wraps 5,6,7 before reusing 0..2.
 	d, _ := c.Allocate(3, 1)
 	want := []int{5, 6, 7}
 	for i, id := range want {
-		if d.IDs[i] != id {
-			t.Fatalf("wrapped allocation %v, want %v", d.IDs, want)
+		if d.IDs()[i] != id {
+			t.Fatalf("wrapped allocation %v, want %v", d.IDs(), want)
 		}
 	}
 }
@@ -127,8 +146,8 @@ func TestNextFitWrapsAround(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.IDs[0] != 0 || b.IDs[1] != 3 {
-		t.Errorf("wrap allocation %v, want [0 3]", b.IDs)
+	if b.IDs()[0] != 0 || b.IDs()[1] != 3 {
+		t.Errorf("wrap allocation %v, want [0 3]", b.IDs())
 	}
 }
 
@@ -174,15 +193,27 @@ func TestQuickSelectionInvariants(t *testing.T) {
 			seen := map[int]bool{}
 			for _, a := range live {
 				prev := -1
-				for _, id := range a.IDs {
+				for _, id := range a.IDs() {
 					if seen[id] || id < 0 || id >= total {
 						t.Fatalf("%v: duplicate or out-of-range id %d", sel, id)
 					}
 					if id <= prev {
-						t.Fatalf("%v: allocation ids not ascending: %v", sel, a.IDs)
+						t.Fatalf("%v: allocation ids not ascending: %v", sel, a.IDs())
 					}
 					prev = id
 					seen[id] = true
+				}
+				// Runs must be canonical: ascending, disjoint, and maximal
+				// (no two adjacent runs could be merged).
+				for i := 1; i < len(a.Runs); i++ {
+					if a.Runs[i].Lo <= a.Runs[i-1].Hi+1 {
+						t.Fatalf("%v: non-canonical runs %v", sel, a.Runs)
+					}
+				}
+				for _, r := range a.Runs {
+					if r.Lo > r.Hi {
+						t.Fatalf("%v: inverted run %v", sel, r)
+					}
 				}
 			}
 		}
@@ -206,7 +237,7 @@ func TestContiguousBeatsFirstFitOnRuns(t *testing.T) {
 					t.Fatal(err)
 				}
 				live = append(live, a)
-				total += a.Runs()
+				total += len(a.Runs)
 				count++
 			} else if len(live) > 0 {
 				i := r.Intn(len(live))

@@ -4,6 +4,14 @@
 // the two accounting modes of Section 5 — computational energy (idle
 // processors dissipate nothing, "Eidle=0") and total energy with idle
 // processors at low power ("Eidle=low").
+//
+// The collector has two modes. With retention on (NewCollector) it keeps
+// one JobRecord per finished job, which the distribution, fairness and
+// breakdown analyses need. With retention off (NewStreamingCollector) it
+// folds every job into running aggregates as it finishes and holds no
+// per-job state at all — the mode million-job replays use, where O(trace)
+// live records would otherwise dominate the heap. Both modes accumulate
+// the aggregates in completion order, so Results are bit-identical.
 package metrics
 
 import (
@@ -39,13 +47,23 @@ type JobRecord struct {
 	AllocRuns int
 }
 
-// Collector implements sched.Recorder, producing JobRecords as jobs
-// finish. It must be created with NewCollector.
+// Collector implements sched.Recorder, aggregating jobs as they finish.
+// It must be created with NewCollector or NewStreamingCollector.
 type Collector struct {
-	pm *dvfs.PowerModel
-	th float64 // short-job threshold of the BSLD formula
+	pm     *dvfs.PowerModel
+	th     float64 // short-job threshold of the BSLD formula
+	retain bool
 
-	records     []*JobRecord
+	// Online aggregates, maintained in both modes in completion order.
+	jobs        int
+	bsldSum     float64
+	waitSum     float64
+	runsSum     float64
+	maxWait     float64
+	reducedJobs int
+	compEnergy  float64
+
+	records     []*JobRecord // retained mode only
 	firstSubmit float64
 	lastEnd     float64
 	any         bool
@@ -54,10 +72,23 @@ type Collector struct {
 var _ sched.Recorder = (*Collector)(nil)
 
 // NewCollector returns a collector charging energy with pm and computing
-// BSLD with short-job threshold th (600 s in the paper).
+// BSLD with short-job threshold th (600 s in the paper). It retains one
+// JobRecord per finished job for the per-job analyses (Records,
+// WaitSeries, percentiles, fairness, breakdowns).
 func NewCollector(pm *dvfs.PowerModel, th float64) *Collector {
+	return &Collector{pm: pm, th: th, retain: true}
+}
+
+// NewStreamingCollector returns a collector that folds jobs into the
+// aggregate Results online and retains no per-job records: memory stays
+// O(1) in trace length. Summarize and Window work exactly as in retained
+// mode; Records returns nil and the record-based analyses report empty.
+func NewStreamingCollector(pm *dvfs.PowerModel, th float64) *Collector {
 	return &Collector{pm: pm, th: th}
 }
+
+// Retaining reports whether the collector keeps per-job records.
+func (c *Collector) Retaining() bool { return c.retain }
 
 // JobStarted implements sched.Recorder.
 func (c *Collector) JobStarted(rs *sched.RunState, now float64) {
@@ -70,24 +101,42 @@ func (c *Collector) JobStarted(rs *sched.RunState, now float64) {
 // JobFinished implements sched.Recorder.
 func (c *Collector) JobFinished(rs *sched.RunState, now float64) {
 	j := rs.Job
-	rec := &JobRecord{
-		Job:              j,
-		Start:            rs.Start,
-		End:              now,
-		Wait:             rs.Start - j.Submit,
-		PenalizedRuntime: now - rs.Start,
-		FinalGear:        rs.Gear,
-		Reduced:          rs.Reduced,
-		AllocRuns:        rs.Alloc.Runs(),
-	}
-	rec.BSLD = BSLD(rec.Wait, rec.PenalizedRuntime, j.EffectiveRuntime(), c.th)
+	wait := rs.Start - j.Submit
+	penalized := now - rs.Start
+	bsld := BSLD(wait, penalized, j.EffectiveRuntime(), c.th)
+	energy := 0.0
 	for _, ph := range rs.Phases {
-		rec.Energy += float64(j.Procs) * c.pm.Active(ph.Gear) * ph.Dur
+		energy += float64(j.Procs) * c.pm.Active(ph.Gear) * ph.Dur
 	}
+	c.jobs++
+	c.bsldSum += bsld
+	c.waitSum += wait
+	c.runsSum += float64(len(rs.Alloc.Runs))
+	if wait > c.maxWait {
+		c.maxWait = wait
+	}
+	if rs.Reduced {
+		c.reducedJobs++
+	}
+	c.compEnergy += energy
 	if now > c.lastEnd {
 		c.lastEnd = now
 	}
-	c.records = append(c.records, rec)
+	if !c.retain {
+		return
+	}
+	c.records = append(c.records, &JobRecord{
+		Job:              j,
+		Start:            rs.Start,
+		End:              now,
+		Wait:             wait,
+		PenalizedRuntime: penalized,
+		BSLD:             bsld,
+		Energy:           energy,
+		FinalGear:        rs.Gear,
+		Reduced:          rs.Reduced,
+		AllocRuns:        len(rs.Alloc.Runs),
+	})
 }
 
 // BSLD evaluates eq. (6) of the paper. runtime is the job's execution
@@ -105,7 +154,8 @@ func BSLD(wait, penalizedRuntime, runtime, th float64) float64 {
 	return v
 }
 
-// Records returns the finished jobs in completion order.
+// Records returns the finished jobs in completion order. It is nil in
+// streaming mode.
 func (c *Collector) Records() []*JobRecord { return c.records }
 
 // Window returns the observation interval [first submit, last completion].
@@ -133,31 +183,24 @@ type Results struct {
 	MeanAllocRuns float64
 }
 
-// Summarize folds the collector's records into Results. idleCPUSeconds
-// and busyCPUSeconds come from the cluster's occupancy integral; cpus is
-// the machine size.
+// Summarize folds the collector's aggregates into Results.
+// idleCPUSeconds and busyCPUSeconds come from the cluster's occupancy
+// integral; cpus is the machine size. It works identically in retained
+// and streaming mode: the sums are accumulated online in completion
+// order, which is the same order the seed implementation folded the
+// record list in, so the floating-point results are bit-identical.
 func (c *Collector) Summarize(idleCPUSeconds, busyCPUSeconds float64, cpus int) Results {
-	r := Results{Jobs: len(c.records)}
+	r := Results{Jobs: c.jobs}
 	if r.Jobs == 0 {
 		return r
 	}
-	var bsldSum, waitSum, runsSum float64
-	for _, rec := range c.records {
-		bsldSum += rec.BSLD
-		waitSum += rec.Wait
-		runsSum += float64(rec.AllocRuns)
-		if rec.Wait > r.MaxWait {
-			r.MaxWait = rec.Wait
-		}
-		if rec.Reduced {
-			r.ReducedJobs++
-		}
-		r.CompEnergy += rec.Energy
-	}
 	n := float64(r.Jobs)
-	r.AvgBSLD = bsldSum / n
-	r.AvgWait = waitSum / n
-	r.MeanAllocRuns = runsSum / n
+	r.AvgBSLD = c.bsldSum / n
+	r.AvgWait = c.waitSum / n
+	r.MaxWait = c.maxWait
+	r.ReducedJobs = c.reducedJobs
+	r.CompEnergy = c.compEnergy
+	r.MeanAllocRuns = c.runsSum / n
 	r.IdleEnergy = idleCPUSeconds * c.pm.Idle()
 	r.TotalEnergyLow = r.CompEnergy + r.IdleEnergy
 	r.Window = c.lastEnd - c.firstSubmit
@@ -174,7 +217,8 @@ type WaitPoint struct {
 }
 
 // WaitSeries returns (submit, wait) pairs ordered by submit time,
-// reproducing the per-job wait traces of Figure 6.
+// reproducing the per-job wait traces of Figure 6. It is empty in
+// streaming mode.
 func (c *Collector) WaitSeries() []WaitPoint {
 	pts := make([]WaitPoint, len(c.records))
 	for i, rec := range c.records {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/cluster"
 	"repro/internal/dvfs"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -49,6 +50,107 @@ func anyReduced(phases []sched.Phase) bool {
 		}
 	}
 	return false
+}
+
+// A collector that saw no jobs must summarize to all-zero Results in
+// both modes, and a single job starting and ending at its submit instant
+// (zero-length window) must not divide by the zero window.
+func TestCollectorZeroLengthWindow(t *testing.T) {
+	pm := dvfs.PaperPowerModel()
+	for _, c := range []*Collector{NewCollector(pm, 600), NewStreamingCollector(pm, 600)} {
+		if r := c.Summarize(0, 0, 128); r != (Results{}) {
+			t.Errorf("empty collector Results = %+v, want zero", r)
+		}
+		j := &workload.Job{ID: 1, Submit: 50, Runtime: 0, Procs: 2, ReqTime: 0, Beta: -1}
+		rs := &sched.RunState{Job: j, Start: 50, Gear: pm.Gears.Top()}
+		c.JobStarted(rs, 50)
+		c.JobFinished(rs, 50)
+		r := c.Summarize(0, 0, 128)
+		if r.Jobs != 1 {
+			t.Fatalf("Jobs = %d, want 1", r.Jobs)
+		}
+		if r.Window != 0 {
+			t.Errorf("Window = %v, want 0", r.Window)
+		}
+		if r.Utilization != 0 {
+			t.Errorf("Utilization = %v, want 0 (undefined over a zero window)", r.Utilization)
+		}
+		if r.AvgBSLD != 1 || r.AvgWait != 0 {
+			t.Errorf("AvgBSLD/AvgWait = %v/%v, want 1/0", r.AvgBSLD, r.AvgWait)
+		}
+		if math.IsNaN(r.MeanAllocRuns) {
+			t.Error("MeanAllocRuns is NaN")
+		}
+	}
+}
+
+// th=0 removes the short-job clamp's floor: a zero-runtime job then has a
+// zero denominator, which BSLD defines as 1 (degenerate case), and a
+// positive-runtime job falls back to the plain slowdown.
+func TestCollectorZeroThresholdZeroRuntime(t *testing.T) {
+	pm := dvfs.PaperPowerModel()
+	top := pm.Gears.Top()
+	for _, c := range []*Collector{NewCollector(pm, 0), NewStreamingCollector(pm, 0)} {
+		zero := &workload.Job{ID: 1, Submit: 0, Runtime: 0, Procs: 1, ReqTime: 0, Beta: -1}
+		rs := &sched.RunState{Job: zero, Start: 10, Gear: top}
+		c.JobStarted(rs, 10)
+		c.JobFinished(rs, 10) // waited 10 s, ran 0 s, denominator max(0,0)=0
+		pos := &workload.Job{ID: 2, Submit: 0, Runtime: 100, Procs: 1, ReqTime: 100, Beta: -1}
+		rs2, end := finishedState(pos, 100, []sched.Phase{{Gear: top, Dur: 100}})
+		c.JobStarted(rs2, 100)
+		c.JobFinished(rs2, end) // (100+100)/100 = 2, unclamped at th=0
+		r := c.Summarize(0, 0, 4)
+		if want := (1.0 + 2.0) / 2; math.Abs(r.AvgBSLD-want) > 1e-12 {
+			t.Errorf("AvgBSLD = %v, want %v", r.AvgBSLD, want)
+		}
+	}
+}
+
+// Streaming and retained collectors observing the same completion stream
+// must produce identical Results — bit for bit, since both fold in
+// completion order — while only the retained one holds records.
+func TestStreamingMatchesRetainedOnRandomTrace(t *testing.T) {
+	pm := dvfs.PaperPowerModel()
+	gears := pm.Gears
+	rng := func(seed, mod int) int { return (seed*2654435761 + 12345) % mod }
+	ret := NewCollector(pm, 600)
+	str := NewStreamingCollector(pm, 600)
+	now := 0.0
+	for i := 1; i <= 500; i++ {
+		submit := now
+		wait := float64(rng(i, 5000))
+		run := float64(1 + rng(i*7, 20000))
+		g := gears[rng(i*13, len(gears))]
+		j := &workload.Job{ID: i, Submit: submit, Runtime: run, Procs: 1 + rng(i*3, 64), ReqTime: run, Beta: -1}
+		rs, end := finishedState(j, submit+wait, []sched.Phase{{Gear: g, Dur: run}})
+		rs.Alloc = cluster.AllocOf(0, 2, 3) // two runs
+		for _, c := range []*Collector{ret, str} {
+			c.JobStarted(rs, submit+wait)
+			c.JobFinished(rs, end)
+		}
+		now += float64(rng(i*31, 300))
+	}
+	if ret.Summarize(1e9, 5e9, 4096) != str.Summarize(1e9, 5e9, 4096) {
+		t.Errorf("streaming Results differ from retained:\n%+v\n%+v",
+			str.Summarize(1e9, 5e9, 4096), ret.Summarize(1e9, 5e9, 4096))
+	}
+	if got := len(ret.Records()); got != 500 {
+		t.Errorf("retained records = %d, want 500", got)
+	}
+	if str.Records() != nil {
+		t.Errorf("streaming collector retained %d records", len(str.Records()))
+	}
+	if !ret.Retaining() || str.Retaining() {
+		t.Error("Retaining() flags wrong")
+	}
+	if len(str.WaitSeries()) != 0 {
+		t.Error("streaming WaitSeries not empty")
+	}
+	rs, re := ret.Window()
+	ss, se := str.Window()
+	if rs != ss || re != se {
+		t.Errorf("windows differ: [%v,%v] vs [%v,%v]", rs, re, ss, se)
+	}
 }
 
 func TestCollectorSingleJobEnergyAndBSLD(t *testing.T) {

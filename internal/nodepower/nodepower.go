@@ -25,11 +25,17 @@ import (
 // Tracker records per-processor busy intervals during a simulation. It
 // implements sched.Recorder; attach it (for instance through
 // sched.MultiRecorder) alongside the metrics collector.
+//
+// State is held in processor-indexed slices fed directly by the
+// allocation's run-length intervals — the seed implementation kept
+// map[int]float64 / map[int][]span tables, paying a hash per processor
+// per job on the recording hot path.
 type Tracker struct {
-	total int
-	busy  map[int]float64 // processor -> busy-interval start
-	spans map[int][]span  // processor -> closed busy intervals
-	end   float64         // last observed event time
+	total     int
+	busyOpen  []bool    // processor -> a busy interval is open
+	busyStart []float64 // processor -> open interval's start time
+	spans     [][]span  // processor -> closed busy intervals
+	end       float64   // last observed event time
 }
 
 type span struct{ start, end float64 }
@@ -37,9 +43,10 @@ type span struct{ start, end float64 }
 // NewTracker returns a tracker for a machine of total processors.
 func NewTracker(total int) *Tracker {
 	return &Tracker{
-		total: total,
-		busy:  make(map[int]float64),
-		spans: make(map[int][]span),
+		total:     total,
+		busyOpen:  make([]bool, total),
+		busyStart: make([]float64, total),
+		spans:     make([][]span, total),
 	}
 }
 
@@ -47,8 +54,11 @@ var _ sched.Recorder = (*Tracker)(nil)
 
 // JobStarted implements sched.Recorder.
 func (t *Tracker) JobStarted(rs *sched.RunState, now float64) {
-	for _, id := range rs.Alloc.IDs {
-		t.busy[id] = now
+	for _, r := range rs.Alloc.Runs {
+		for id := r.Lo; id <= r.Hi; id++ {
+			t.busyOpen[id] = true
+			t.busyStart[id] = now
+		}
 	}
 	if now > t.end {
 		t.end = now
@@ -57,10 +67,12 @@ func (t *Tracker) JobStarted(rs *sched.RunState, now float64) {
 
 // JobFinished implements sched.Recorder.
 func (t *Tracker) JobFinished(rs *sched.RunState, now float64) {
-	for _, id := range rs.Alloc.IDs {
-		if start, ok := t.busy[id]; ok {
-			t.spans[id] = append(t.spans[id], span{start, now})
-			delete(t.busy, id)
+	for _, r := range rs.Alloc.Runs {
+		for id := r.Lo; id <= r.Hi; id++ {
+			if t.busyOpen[id] {
+				t.spans[id] = append(t.spans[id], span{t.busyStart[id], now})
+				t.busyOpen[id] = false
+			}
 		}
 	}
 	if now > t.end {
@@ -118,7 +130,10 @@ func (r Report) TotalIdleSideEnergy() float64 {
 
 // Evaluate replays each processor's idle gaps under the policy, from the
 // window start (first event or 0) through the last completion. pm supplies
-// idle and active power levels.
+// idle and active power levels. A processor still busy at the end of the
+// observation window (its job never finished before the last event) is
+// treated as busy through the window end: its open interval is closed at
+// t.end, so no idle energy is charged for time it was in fact computing.
 func (t *Tracker) Evaluate(p Policy, pm *dvfs.PowerModel, windowStart float64) (Report, error) {
 	if err := p.Validate(); err != nil {
 		return Report{}, err
@@ -161,6 +176,8 @@ type gap struct {
 }
 
 // idleGaps returns the idle intervals of one processor over the window.
+// An interval still open at the end of the run counts as busy through the
+// window end, so it produces no trailing idle gap.
 func (t *Tracker) idleGaps(id int, windowStart float64) []gap {
 	spans := t.spans[id]
 	var gaps []gap
@@ -173,19 +190,33 @@ func (t *Tracker) idleGaps(id int, windowStart float64) []gap {
 			cursor = s.end
 		}
 	}
+	if t.busyOpen[id] {
+		// The open interval closes at the window end; any gap before it
+		// started is an ordinary (non-final) idle stretch.
+		if s := t.busyStart[id]; s > cursor {
+			gaps = append(gaps, gap{start: cursor, end: s})
+		}
+		return gaps
+	}
 	if t.end > cursor {
 		gaps = append(gaps, gap{start: cursor, end: t.end, final: true})
 	}
 	return gaps
 }
 
-// BusyCPUSeconds returns the tracked busy processor-seconds (for
-// validation against the cluster's own integral).
+// BusyCPUSeconds returns the tracked busy processor-seconds, open
+// intervals counted through the window end (for validation against the
+// cluster's own integral).
 func (t *Tracker) BusyCPUSeconds() float64 {
 	sum := 0.0
 	for _, spans := range t.spans {
 		for _, s := range spans {
 			sum += s.end - s.start
+		}
+	}
+	for id, open := range t.busyOpen {
+		if open && t.end > t.busyStart[id] {
+			sum += t.end - t.busyStart[id]
 		}
 	}
 	return sum

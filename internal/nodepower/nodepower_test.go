@@ -15,10 +15,63 @@ import (
 func record(t *Tracker, ids []int, procs, start, end float64) {
 	rs := &sched.RunState{
 		Job:   &workload.Job{ID: 1, Procs: int(procs)},
-		Alloc: cluster.Alloc{IDs: ids},
+		Alloc: cluster.AllocOf(ids...),
 	}
 	t.JobStarted(rs, start)
 	t.JobFinished(rs, end)
+}
+
+// Regression for the open-interval bug: a job still running at the last
+// observed event used to be left open in the busy table, so its whole
+// execution was charged as an idle gap. Evaluate must treat the
+// processor as busy through the window end instead.
+func TestEvaluateClosesOpenIntervalsAtWindowEnd(t *testing.T) {
+	pm := dvfs.PaperPowerModel()
+	tr := NewTracker(2)
+	// Processor 0: a normal job [0, 10), then idle to the end.
+	record(tr, []int{0}, 1, 0, 10)
+	// Processor 1: starts at 20 and NEVER finishes; the last event of the
+	// run is processor 0's completion... then the started-but-unfinished
+	// job pushes t.end to 20 via its JobStarted callback.
+	open := &sched.RunState{
+		Job:   &workload.Job{ID: 2, Procs: 1},
+		Alloc: cluster.AllocOf(1),
+	}
+	tr.JobStarted(open, 20)
+
+	// Busy accounting must include the open interval through the end.
+	if got, want := tr.BusyCPUSeconds(), 10.0; got != want {
+		t.Errorf("BusyCPUSeconds = %v, want %v (open interval is zero-length at end=20)", got, want)
+	}
+
+	rep, err := tr.Evaluate(Policy{IdleOffDelay: 1e9}, pm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle time: proc 0 idles [10, 20) final; proc 1 idles [0, 20) before
+	// its open interval — and nothing after 20, because it is busy at the
+	// window end. The seed implementation charged proc 1 nothing before
+	// 20 (no closed spans) and instead idled it over the whole window.
+	wantIdle := (20.0 - 10.0) + 20.0
+	if got := rep.IdleCPUSeconds; math.Abs(got-wantIdle) > 1e-9 {
+		t.Errorf("IdleCPUSeconds = %v, want %v", got, wantIdle)
+	}
+
+	// With a longer run the open interval accrues busy time too.
+	record(tr, []int{0}, 1, 30, 40) // pushes end to 40
+	if got, want := tr.BusyCPUSeconds(), 10.0+10.0+(40.0-20.0); got != want {
+		t.Errorf("BusyCPUSeconds = %v, want %v (open interval [20,40])", got, want)
+	}
+	rep, err = tr.Evaluate(Policy{IdleOffDelay: 1e9}, pm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proc 0: [10,30) idle plus nothing after 40 (final gap zero-length);
+	// proc 1: [0,20) idle, busy through the end.
+	wantIdle = 20.0 + 20.0
+	if got := rep.IdleCPUSeconds; math.Abs(got-wantIdle) > 1e-9 {
+		t.Errorf("after second job: IdleCPUSeconds = %v, want %v", got, wantIdle)
+	}
 }
 
 func TestIdleGapsSingleProcessor(t *testing.T) {

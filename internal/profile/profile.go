@@ -4,14 +4,21 @@
 // job against it, and tests use it as an independent oracle for the EASY
 // shadow-time computation.
 //
-// The profile maintains a time-sorted list of usage deltas, so the
-// planning queries run in linear time per call: EarliestStart sweeps the
-// skyline once instead of re-evaluating usage per boundary, which keeps
-// conservative backfilling of 5000-job traces tractable.
+// The profile keeps its usage deltas in two tiers: a time-sorted main
+// list with prefix-summed usage, and a small append-only pending buffer
+// that is sorted on demand and merged into the main list once it grows
+// past a fraction of it. Add is therefore an O(1) append (the seed-era
+// implementation insertion-sorted every delta, turning a replanning pass
+// over n entries into O(n²) memmoves), point queries binary-search the
+// prefix sums, and the skyline sweeps of EarliestStart walk the two
+// sorted tiers with a single merge cursor. LoadReleases bulk-loads an
+// already-sorted release schedule — the scheduler maintains one
+// incrementally across passes — in one pass with no sorting at all.
 package profile
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -22,6 +29,13 @@ type Entry struct {
 	CPUs       int
 }
 
+// Release is one future processor release: CPUs processors become free at
+// Time. It is the unit of LoadReleases' bulk initialization.
+type Release struct {
+	Time float64
+	CPUs int
+}
+
 // delta is a usage change of d processors at time t.
 type delta struct {
 	t float64
@@ -30,23 +44,33 @@ type delta struct {
 
 // Profile is a set of occupancy entries on a machine of Total processors.
 type Profile struct {
-	Total   int
-	entries []Entry
-	deltas  []delta // sorted by time
+	Total    int
+	nentries int
+
+	deltas []delta // time-sorted main tier
+	prefix []int   // prefix[i] = usage after applying deltas[:i+1]
+
+	pending       []delta // recent Adds, sorted lazily at query time
+	pendingSorted bool
+
+	scratch []delta // merge buffer reused across flushes
 }
 
 // New returns an empty profile for a machine of total processors.
 func New(total int) *Profile {
-	return &Profile{Total: total}
+	return &Profile{Total: total, pendingSorted: true}
 }
 
 // Reset empties the profile for a machine of total processors, retaining
-// the entry and delta capacity of previous use. It lets a scheduler replan
-// every pass without reallocating the profile storage.
+// the storage capacity of previous use. It lets a scheduler replan every
+// pass without reallocating the profile storage.
 func (p *Profile) Reset(total int) {
 	p.Total = total
-	p.entries = p.entries[:0]
+	p.nentries = 0
 	p.deltas = p.deltas[:0]
+	p.prefix = p.prefix[:0]
+	p.pending = p.pending[:0]
+	p.pendingSorted = true
 }
 
 // Add inserts an occupancy interval. Entries with non-positive duration or
@@ -55,29 +79,98 @@ func (p *Profile) Add(e Entry) {
 	if e.End <= e.Start || e.CPUs <= 0 {
 		return
 	}
-	p.entries = append(p.entries, e)
-	p.insertDelta(delta{t: e.Start, d: e.CPUs})
-	p.insertDelta(delta{t: e.End, d: -e.CPUs})
+	p.nentries++
+	if n := len(p.pending); n > 0 && e.Start < p.pending[n-1].t {
+		p.pendingSorted = false
+	}
+	// End > Start, so the second append never breaks sortedness on its own.
+	p.pending = append(p.pending, delta{t: e.Start, d: e.CPUs}, delta{t: e.End, d: -e.CPUs})
 }
 
-// insertDelta keeps the delta list time-sorted.
-func (p *Profile) insertDelta(d delta) {
-	i := sort.Search(len(p.deltas), func(i int) bool { return p.deltas[i].t > d.t })
-	p.deltas = append(p.deltas, delta{})
-	copy(p.deltas[i+1:], p.deltas[i:])
-	p.deltas[i] = d
+// LoadReleases resets the profile to a machine of total processors and
+// bulk-loads a running-job release schedule: Σ rels.CPUs processors are
+// busy from now on, dropping by r.CPUs at each r.Time. rels must be
+// sorted ascending by Time with every Time > now; the slice is not
+// retained. One release corresponds to one occupancy entry [now, r.Time).
+func (p *Profile) LoadReleases(total int, now float64, rels []Release) {
+	p.Reset(total)
+	used := 0
+	for _, r := range rels {
+		used += r.CPUs
+	}
+	if used > 0 {
+		p.deltas = append(p.deltas, delta{t: now, d: used})
+		p.prefix = append(p.prefix, used)
+	}
+	run := used
+	for _, r := range rels {
+		p.deltas = append(p.deltas, delta{t: r.Time, d: -r.CPUs})
+		run -= r.CPUs
+		p.prefix = append(p.prefix, run)
+	}
+	p.nentries += len(rels)
+}
+
+// prepare sorts the pending tier if needed and folds it into the main
+// tier once it outgrows the merge threshold. Amortized across a
+// replanning pass the merges cost O(1) per Add; between merges queries
+// pay one extra scan over the (bounded) pending tier.
+func (p *Profile) prepare() {
+	if !p.pendingSorted {
+		slices.SortFunc(p.pending, func(a, b delta) int {
+			switch {
+			case a.t < b.t:
+				return -1
+			case a.t > b.t:
+				return 1
+			}
+			return 0
+		})
+		p.pendingSorted = true
+	}
+	if len(p.pending) > 64+len(p.deltas)/16 {
+		p.flush()
+	}
+}
+
+// flush merges the sorted pending tier into the main tier and rebuilds
+// the prefix sums in one pass.
+func (p *Profile) flush() {
+	merged := p.scratch[:0]
+	i, j := 0, 0
+	for i < len(p.deltas) || j < len(p.pending) {
+		if j >= len(p.pending) || (i < len(p.deltas) && p.deltas[i].t <= p.pending[j].t) {
+			merged = append(merged, p.deltas[i])
+			i++
+		} else {
+			merged = append(merged, p.pending[j])
+			j++
+		}
+	}
+	p.scratch, p.deltas = p.deltas[:0], merged
+	p.pending = p.pending[:0]
+	p.prefix = p.prefix[:0]
+	run := 0
+	for _, d := range p.deltas {
+		run += d.d
+		p.prefix = append(p.prefix, run)
+	}
 }
 
 // Len returns the number of entries.
-func (p *Profile) Len() int { return len(p.entries) }
+func (p *Profile) Len() int { return p.nentries }
 
-// UsedAt returns the number of processors busy at time t.
+// UsedAt returns the number of processors busy at time t. The main tier
+// is answered by binary search over the prefix-summed deltas; only the
+// small pending tier is scanned.
 func (p *Profile) UsedAt(t float64) int {
+	p.prepare()
 	used := 0
-	for _, e := range p.entries {
-		if e.Start <= t && t < e.End {
-			used += e.CPUs
-		}
+	if i := sort.Search(len(p.deltas), func(i int) bool { return p.deltas[i].t > t }); i > 0 {
+		used = p.prefix[i-1]
+	}
+	for j := 0; j < len(p.pending) && p.pending[j].t <= t; j++ {
+		used += p.pending[j].d
 	}
 	return used
 }
@@ -99,23 +192,35 @@ func (p *Profile) CanPlace(cpus int, start, dur float64) bool {
 
 // EarliestStart returns the earliest time t >= from at which cpus
 // processors are continuously available for dur seconds. It returns +Inf
-// when cpus exceeds the machine size. The sweep over the usage skyline
-// runs in O(entries).
+// when cpus exceeds the machine size. The usage at `from` comes from a
+// binary search over the prefix sums; the sweep then walks the two
+// sorted tiers forward with a merge cursor and exits at the first
+// feasible window.
 func (p *Profile) EarliestStart(cpus int, dur, from float64) float64 {
 	if cpus > p.Total {
 		return math.Inf(1)
 	}
+	p.prepare()
 	limit := p.Total - cpus
-	// Usage at `from`: apply every delta at or before it.
+	main, pend := p.deltas, p.pending
+	i := sort.Search(len(main), func(k int) bool { return main[k].t > from })
 	used := 0
-	i := 0
-	for ; i < len(p.deltas) && p.deltas[i].t <= from; i++ {
-		used += p.deltas[i].d
+	if i > 0 {
+		used = p.prefix[i-1]
+	}
+	j := 0
+	for ; j < len(pend) && pend[j].t <= from; j++ {
+		used += pend[j].d
 	}
 	cand := from
-	for i < len(p.deltas) {
-		t := p.deltas[i].t
-		// The segment [max(prev, from), t) has constant usage `used`.
+	for i < len(main) || j < len(pend) {
+		var t float64
+		if i < len(main) && (j >= len(pend) || main[i].t <= pend[j].t) {
+			t = main[i].t
+		} else {
+			t = pend[j].t
+		}
+		// The segment ending at t has constant usage `used`.
 		if used > limit {
 			// Violated throughout; the earliest possible start moves to
 			// the segment's end.
@@ -123,9 +228,13 @@ func (p *Profile) EarliestStart(cpus int, dur, from float64) float64 {
 		} else if t-cand >= dur {
 			return cand
 		}
-		for i < len(p.deltas) && p.deltas[i].t == t {
-			used += p.deltas[i].d
+		for i < len(main) && main[i].t == t {
+			used += main[i].d
 			i++
+		}
+		for j < len(pend) && pend[j].t == t {
+			used += pend[j].d
+			j++
 		}
 	}
 	// Past the last delta the machine is empty (all entries closed), so

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -22,6 +23,37 @@ func BenchmarkEarliestStart(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p.EarliestStart(64, 3600, float64(i%100000))
+	}
+}
+
+// BenchmarkReplanPass models one conservative replanning pass at scale:
+// bulk-load n running-job releases, then interleave reservation Adds with
+// EarliestStart queries for a queue of 256 jobs. The seed implementation
+// insertion-sorted every delta (O(n) memmoves per Add, O(n²) per pass);
+// with the bulk loader and the deferred-merge pending tier the per-pass
+// time must grow near-linearly in n — watch ns/op roughly 4× per 4× n.
+func BenchmarkReplanPass(b *testing.B) {
+	for _, n := range []int{1_000, 4_000, 16_000} {
+		b.Run(fmt.Sprintf("running=%d", n), func(b *testing.B) {
+			r := rand.New(rand.NewSource(11))
+			rels := make([]Release, n)
+			t := 0.0
+			for i := range rels {
+				t += r.Float64() * 10
+				rels[i] = Release{Time: 1 + t, CPUs: 1 + r.Intn(64)}
+			}
+			const total = 1 << 20
+			p := New(total)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.LoadReleases(total, 0, rels)
+				for k := 0; k < 256; k++ {
+					st := p.EarliestStart(1024, 3600, 0)
+					p.Add(Entry{Start: st, End: st + 3600, CPUs: 1024})
+				}
+			}
+		})
 	}
 }
 

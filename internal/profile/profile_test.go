@@ -200,6 +200,141 @@ func TestQuickEarliestStartOptimal(t *testing.T) {
 	}
 }
 
+// naiveUsedAt is the seed-era reference: a linear scan over the raw
+// entries. The tiered implementation must agree everywhere.
+func naiveUsedAt(entries []Entry, t float64) int {
+	used := 0
+	for _, e := range entries {
+		if e.Start <= t && t < e.End {
+			used += e.CPUs
+		}
+	}
+	return used
+}
+
+// Satellite regression for the binary-searched UsedAt: agreement with the
+// naive scan on randomized profiles, probed at entry boundaries (where
+// the half-open [Start, End) semantics bite) and at random times, with
+// queries interleaved between Adds so every pending/merged tier state is
+// exercised.
+func TestQuickUsedAtMatchesNaiveScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := 2 + r.Intn(64)
+		p := New(total)
+		var entries []Entry
+		probe := func() bool {
+			ts := []float64{-1, 0, float64(r.Intn(100)), r.Float64() * 100}
+			for _, e := range entries {
+				ts = append(ts, e.Start, e.End, math.Nextafter(e.End, 0))
+			}
+			for _, q := range ts {
+				if p.UsedAt(q) != naiveUsedAt(entries, q) {
+					return false
+				}
+				if p.FreeAt(q) != total-naiveUsedAt(entries, q) {
+					return false
+				}
+			}
+			return true
+		}
+		for i := 0; i < 40; i++ {
+			s := float64(r.Intn(80))
+			e := Entry{Start: s, End: s + float64(1+r.Intn(40)), CPUs: 1 + r.Intn(total)}
+			p.Add(e)
+			entries = append(entries, e)
+			if r.Intn(4) == 0 && !probe() {
+				return false
+			}
+		}
+		return probe()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// LoadReleases must be observationally identical to adding one
+// [now, Time) entry per release.
+func TestLoadReleasesMatchesAdds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := 4 + r.Intn(60)
+		now := r.Float64() * 10
+		n := r.Intn(12)
+		rels := make([]Release, n)
+		for i := range rels {
+			rels[i] = Release{Time: now + 0.5 + r.Float64()*50, CPUs: 1 + r.Intn(8)}
+		}
+		sortReleases(rels)
+		bulk := New(total)
+		bulk.LoadReleases(total, now, rels)
+		ref := New(total)
+		for _, rel := range rels {
+			ref.Add(Entry{Start: now, End: rel.Time, CPUs: rel.CPUs})
+		}
+		if bulk.Len() != ref.Len() {
+			return false
+		}
+		for trial := 0; trial < 30; trial++ {
+			q := now + r.Float64()*60 - 2
+			if bulk.UsedAt(q) != ref.UsedAt(q) {
+				return false
+			}
+			cpus := 1 + r.Intn(total)
+			dur := r.Float64() * 30
+			if bulk.EarliestStart(cpus, dur, q) != ref.EarliestStart(cpus, dur, q) {
+				return false
+			}
+		}
+		// Mixing reservations on top must stay equivalent too.
+		for i := 0; i < 5; i++ {
+			s := now + r.Float64()*40
+			e := Entry{Start: s, End: s + 1 + r.Float64()*20, CPUs: 1 + r.Intn(8)}
+			bulk.Add(e)
+			ref.Add(e)
+			q := now + r.Float64()*60
+			if bulk.UsedAt(q) != ref.UsedAt(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortReleases(rels []Release) {
+	for i := 1; i < len(rels); i++ {
+		for j := i; j > 0 && rels[j].Time < rels[j-1].Time; j-- {
+			rels[j], rels[j-1] = rels[j-1], rels[j]
+		}
+	}
+}
+
+// The pending tier must fold into the main tier once it outgrows the
+// merge threshold, keeping point queries logarithmic: after thousands of
+// Adds the pending buffer stays bounded.
+func TestPendingTierStaysBounded(t *testing.T) {
+	p := New(1 << 20)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		s := r.Float64() * 1e6
+		p.Add(Entry{Start: s, End: s + 1 + r.Float64()*1e4, CPUs: 1 + r.Intn(64)})
+		if i%97 == 0 {
+			p.UsedAt(r.Float64() * 1e6)
+		}
+	}
+	p.UsedAt(0)
+	if cap := 64 + len(p.deltas)/16; len(p.pending) > cap {
+		t.Errorf("pending tier %d exceeds threshold %d after queries", len(p.pending), cap)
+	}
+	if p.Len() != 5000 {
+		t.Errorf("Len = %d, want 5000", p.Len())
+	}
+}
+
 // Property: CanPlace is monotone in cpus — if n cpus fit, n-1 fit too.
 func TestQuickCanPlaceMonotone(t *testing.T) {
 	f := func(seed int64) bool {

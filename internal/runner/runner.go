@@ -108,7 +108,12 @@ func Run(spec Spec) (Outcome, error) {
 	if pol == nil {
 		pol = sched.FixedGear{Gear: gears.Top()}
 	}
-	col := metrics.NewCollector(pm, th)
+	// Without KeepCollector the run only needs the aggregate Results, so
+	// the collector streams: no O(trace) record list is held alive.
+	col := metrics.NewStreamingCollector(pm, th)
+	if spec.KeepCollector {
+		col = metrics.NewCollector(pm, th)
+	}
 	var rec sched.Recorder = col
 	if len(spec.ExtraRecorders) > 0 {
 		rec = append(sched.MultiRecorder{col}, spec.ExtraRecorders...)

@@ -1,18 +1,110 @@
 package sched
 
 import (
+	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/workload"
 )
 
 // release is one running job's planned processor release, the unit of the
-// shadow-time sweep.
+// shadow-time sweep and of the availability-profile bulk load.
 type release struct {
 	t    float64
 	cpus int
 	id   int
+}
+
+// sortedReleases returns the live run list's planned releases sorted by
+// (raw planned end, job ID). Under the replanning variants the cache is
+// maintained incrementally and is always current; under classic EASY it
+// is rebuilt here only when a start, completion or gear change
+// invalidated it — a blocked pass (an arrival that starts nothing)
+// reuses the previous sort outright, which is what keeps saturated
+// replays from rebuilding+sorting O(running jobs) state on every event.
+//
+// Times are stored unclamped; consumers clamp entries at or before `now`
+// to strictly-after-now on the fly. Clamping maps a prefix of the sorted
+// order onto one shared time point, and every consumer treats equal-time
+// releases as a single group, so the result is identical to the seed-era
+// clamp-then-sort order.
+func (s *System) sortedReleases() []release {
+	if !s.relDirty {
+		return s.relCache
+	}
+	rels := s.relCache[:0]
+	for _, rs := range s.runList {
+		if rs == nil {
+			continue // tombstoned completion
+		}
+		rels = append(rels, release{t: rs.PlannedEnd, cpus: rs.Job.Procs, id: rs.Job.ID})
+	}
+	slices.SortFunc(rels, func(a, b release) int {
+		switch {
+		case a.t < b.t:
+			return -1
+		case a.t > b.t:
+			return 1
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
+	s.relCache = rels
+	s.relDirty = false
+	return rels
+}
+
+// relAdd registers a newly started (or re-geared) job's planned release:
+// an ordered insert when the cache is incrementally maintained, a dirty
+// mark otherwise.
+func (s *System) relAdd(rs *RunState) {
+	if !s.relIncremental {
+		s.relDirty = true
+		return
+	}
+	r := release{t: rs.PlannedEnd, cpus: rs.Job.Procs, id: rs.Job.ID}
+	i := sort.Search(len(s.relCache), func(k int) bool {
+		c := s.relCache[k]
+		return c.t > r.t || (c.t == r.t && c.id > r.id)
+	})
+	s.relCache = append(s.relCache, release{})
+	copy(s.relCache[i+1:], s.relCache[i:])
+	s.relCache[i] = r
+}
+
+// relRemove drops a finished (or about-to-be-re-geared) job's planned
+// release. rs.PlannedEnd must still hold the value relAdd registered.
+func (s *System) relRemove(rs *RunState) {
+	if !s.relIncremental {
+		s.relDirty = true
+		return
+	}
+	t, id := rs.PlannedEnd, rs.Job.ID
+	i := sort.Search(len(s.relCache), func(k int) bool {
+		c := s.relCache[k]
+		return c.t > t || (c.t == t && c.id >= id)
+	})
+	if i >= len(s.relCache) || s.relCache[i].t != t || s.relCache[i].id != id {
+		panic(fmt.Sprintf("sched: release schedule lost job %d (planned end %v)", id, t))
+	}
+	copy(s.relCache[i:], s.relCache[i+1:])
+	s.relCache = s.relCache[:len(s.relCache)-1]
+}
+
+// clampRelease keeps a release time strictly after now: a job at its kill
+// limit still holds its processors until its completion event fires
+// (possibly later at this same timestamp), so capacity planning must not
+// hand its processors out at `now` itself.
+func clampRelease(t, now float64) float64 {
+	if t <= now {
+		return math.Nextafter(now, math.Inf(1))
+	}
+	return t
 }
 
 // shadow computes the EASY reservation for a head job that cannot start
@@ -24,32 +116,36 @@ type release struct {
 // Because only running jobs hold processors (EASY keeps a single
 // reservation), availability is non-decreasing in time and the sweep over
 // planned completions is exact.
-//
-// The release list is assembled in a per-system scratch slice reused
-// across passes; sorting by (time, job ID) makes the result independent of
-// run-list iteration order.
 func (s *System) shadow(head *workload.Job, now float64) (float64, int) {
 	avail := s.cl.FreeCount()
-	rels := s.relScratch[:0]
 	if s.cfg.Compat.ScratchAlloc {
-		rels = make([]release, 0, s.runningCount())
+		return s.shadowSeed(head, now, avail)
 	}
+	rels := s.sortedReleases()
+	shadowT := now
+	i := 0
+	for ; i < len(rels) && avail < head.Procs; i++ {
+		avail += rels[i].cpus
+		shadowT = clampRelease(rels[i].t, now)
+	}
+	// Include every release at exactly the shadow time: the head starts
+	// once they have all completed, so their processors count as
+	// available when sizing the extra pool.
+	for ; i < len(rels) && clampRelease(rels[i].t, now) == shadowT; i++ {
+		avail += rels[i].cpus
+	}
+	return shadowT, avail - head.Procs
+}
+
+// shadowSeed is the seed-era shadow computation: rebuild the release
+// list, clamp, then sort, on every blocked pass.
+func (s *System) shadowSeed(head *workload.Job, now float64, avail int) (float64, int) {
+	rels := make([]release, 0, s.runningCount())
 	for _, rs := range s.runList {
 		if rs == nil {
-			continue // tombstoned completion
+			continue
 		}
-		// A job at its kill limit still holds its processors until its
-		// completion event fires (possibly later at this same timestamp);
-		// its release time must stay strictly after `now` so backfills
-		// cannot be granted capacity the head is about to claim.
-		t := rs.PlannedEnd
-		if t <= now {
-			t = math.Nextafter(now, math.Inf(1))
-		}
-		rels = append(rels, release{t: t, cpus: rs.Job.Procs, id: rs.Job.ID})
-	}
-	if !s.cfg.Compat.ScratchAlloc {
-		s.relScratch = rels // retain grown capacity for the next pass
+		rels = append(rels, release{t: clampRelease(rs.PlannedEnd, now), cpus: rs.Job.Procs, id: rs.Job.ID})
 	}
 	sort.Slice(rels, func(i, j int) bool {
 		if rels[i].t != rels[j].t {
@@ -63,9 +159,6 @@ func (s *System) shadow(head *workload.Job, now float64) (float64, int) {
 		avail += rels[i].cpus
 		shadowT = rels[i].t
 	}
-	// Include every release at exactly the shadow time: the head starts
-	// once they have all completed, so their processors count as
-	// available when sizing the extra pool.
 	for ; i < len(rels) && rels[i].t == shadowT; i++ {
 		avail += rels[i].cpus
 	}

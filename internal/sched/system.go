@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"repro/internal/cluster"
@@ -53,7 +52,9 @@ func ParseVariant(name string) (Variant, error) {
 }
 
 // Recorder receives job lifecycle callbacks; the metrics collector
-// implements it. A nil Recorder disables recording.
+// implements it. A nil Recorder disables recording. Implementations must
+// not retain rs (or its Alloc.Runs / Phases slices) past the callback:
+// the scheduler recycles run states once JobFinished returns.
 type Recorder interface {
 	JobStarted(rs *RunState, now float64)
 	JobFinished(rs *RunState, now float64)
@@ -157,9 +158,28 @@ type System struct {
 	arrivals []*workload.Job
 	nextArr  int
 
-	// relScratch and prof are per-system scratch reused across passes.
-	relScratch []release
-	prof       *profile.Profile
+	// relCache holds the live jobs' planned releases sorted by
+	// (PlannedEnd, job ID). Under the profile-replanning variants
+	// (conservative, flexible EASY) it is maintained incrementally —
+	// binary-search insert/remove per start/completion/gear change —
+	// because every pass consumes it; under classic EASY it is rebuilt
+	// lazily (relDirty) only when a blocked pass actually needs the
+	// shadow sweep, since most events mutate the run list without ever
+	// consuming the schedule.
+	relCache       []release
+	relDirty       bool
+	relIncremental bool
+
+	// prof and profRels are per-system scratch reused across replanning
+	// passes: the availability profile and the clamped release schedule
+	// fed to its bulk loader.
+	prof     *profile.Profile
+	profRels []profile.Release
+
+	// rsPool recycles RunStates after their completion callbacks ran,
+	// together with their Alloc.Runs and Phases capacity, so the steady
+	// state of a replay allocates nothing per job.
+	rsPool []*RunState
 }
 
 // New validates the configuration and returns a ready system.
@@ -184,7 +204,12 @@ func New(cfg Config) (*System, error) {
 		cfg:    cfg,
 		engine: sim.NewEngine(),
 		cl:     cl,
+		// Starts dirty so a first consumer rebuilds from the run list even
+		// when it was assembled outside start() (as white-box tests do).
+		relDirty: true,
 	}
+	s.relIncremental = !cfg.Compat.ScratchAlloc &&
+		(cfg.Variant == Conservative || (cfg.Variant == EASY && cfg.Reservations > 1))
 	s.engine.NoPool = cfg.Compat.ScratchAlloc
 	if b, ok := cfg.Policy.(SystemBinder); ok {
 		b.Bind(s)
@@ -374,11 +399,34 @@ func (s *System) pass(now float64) {
 		s.profilePass(now, s.cfg.Reservations)
 		return
 	}
-	for len(s.queue) > 0 && s.queue[0].Procs <= s.cl.FreeCount() {
-		j := s.queue[0]
-		s.queue = s.queue[1:]
-		g := s.cfg.Policy.ReserveGear(j, now, now, len(s.queue))
-		s.start(j, g, now)
+	if s.cfg.Compat.ScratchAlloc {
+		// Seed-era queue pop: re-slicing forward abandons the backing
+		// array's front, so nearly every subsequent arrival append
+		// reallocates (kept as the benchmark reference).
+		for len(s.queue) > 0 && s.queue[0].Procs <= s.cl.FreeCount() {
+			j := s.queue[0]
+			s.queue = s.queue[1:]
+			g := s.cfg.Policy.ReserveGear(j, now, now, len(s.queue))
+			s.start(j, g, now)
+		}
+	} else {
+		// Start queue heads in place, then shift the remainder to the
+		// front: the queue's capacity stays anchored at index 0, so
+		// arrival appends reuse it instead of allocating.
+		started := 0
+		for started < len(s.queue) && s.queue[started].Procs <= s.cl.FreeCount() {
+			j := s.queue[started]
+			started++
+			g := s.cfg.Policy.ReserveGear(j, now, now, len(s.queue)-started)
+			s.start(j, g, now)
+		}
+		if started > 0 {
+			n := copy(s.queue, s.queue[started:])
+			for i := n; i < len(s.queue); i++ {
+				s.queue[i] = nil
+			}
+			s.queue = s.queue[:n]
+		}
 	}
 	if len(s.queue) == 0 || s.cfg.Variant == FCFS {
 		s.cfg.Policy.PostPass(s, now)
@@ -444,27 +492,35 @@ func (s *System) setQueue(kept []*workload.Job) {
 func (s *System) profilePass(now float64, maxRes int) {
 	var prof *profile.Profile
 	if s.cfg.Compat.ScratchAlloc {
+		// Seed-era path: a fresh profile filled entry by entry from the
+		// run list. Releases at or before `now` are clamped strictly
+		// after it — a job at its kill limit still occupies processors
+		// until its completion event fires (possibly at this same
+		// timestamp, later in the event order), so the profile must not
+		// over-commit the machine.
 		prof = profile.New(s.cl.Total())
+		for _, rs := range s.runList {
+			if rs == nil {
+				continue // tombstoned completion
+			}
+			prof.Add(profile.Entry{Start: now, End: clampRelease(rs.PlannedEnd, now), CPUs: rs.Job.Procs})
+		}
 	} else {
+		// Optimized path: bulk-load the cached sorted release schedule.
+		// The clamp maps a prefix of the sorted order onto one shared
+		// point strictly after now, so the schedule stays sorted and the
+		// resulting step function is identical to the seed path's.
 		if s.prof == nil {
 			s.prof = profile.New(s.cl.Total())
 		}
-		s.prof.Reset(s.cl.Total())
+		rels := s.sortedReleases()
+		buf := s.profRels[:0]
+		for _, r := range rels {
+			buf = append(buf, profile.Release{Time: clampRelease(r.t, now), CPUs: r.cpus})
+		}
+		s.profRels = buf
+		s.prof.LoadReleases(s.cl.Total(), now, buf)
 		prof = s.prof
-	}
-	for _, rs := range s.runList {
-		if rs == nil {
-			continue // tombstoned completion
-		}
-		// A job at its kill limit still occupies processors until its
-		// completion event fires (possibly at this same timestamp, later
-		// in the event order), so its release must stay strictly after
-		// `now` or the profile would over-commit the machine.
-		end := rs.PlannedEnd
-		if end <= now {
-			end = math.Nextafter(now, math.Inf(1))
-		}
-		prof.Add(profile.Entry{Start: now, End: end, CPUs: rs.Job.Procs})
 	}
 	kept := s.queue[:0]
 	if s.cfg.Compat.ScratchAlloc {
@@ -508,23 +564,36 @@ func (s *System) profilePass(now float64, maxRes int) {
 	s.cfg.Policy.PostPass(s, now)
 }
 
+// newRunState pops a recycled RunState (keeping its Alloc.Runs and
+// Phases capacity, contents cleared) or allocates a fresh one.
+func (s *System) newRunState() *RunState {
+	if n := len(s.rsPool); n > 0 {
+		rs := s.rsPool[n-1]
+		s.rsPool = s.rsPool[:n-1]
+		runs, phases := rs.Alloc.Runs[:0], rs.Phases[:0]
+		*rs = RunState{}
+		rs.Alloc.Runs = runs
+		rs.Phases = phases
+		return rs
+	}
+	return &RunState{}
+}
+
 // start begins executing j at gear g immediately.
 func (s *System) start(j *workload.Job, g dvfs.Gear, now float64) {
-	alloc, err := s.cl.Allocate(j.Procs, now)
-	if err != nil {
+	rs := s.newRunState()
+	if err := s.cl.AllocateInto(&rs.Alloc, j.Procs, now); err != nil {
 		// The pass only starts jobs that fit; failure is a scheduler bug.
 		panic(fmt.Sprintf("sched: allocation invariant broken for job %d: %v", j.ID, err))
 	}
-	rs := &RunState{
-		Job:        j,
-		Gear:       g,
-		Start:      now,
-		PlannedEnd: now + s.reqDur(j, g),
-		ActualEnd:  now + s.actDur(j, g),
-		Alloc:      alloc,
-		phaseStart: now,
-		Reduced:    !s.cfg.Gears.IsTop(g),
-	}
+	rs.Job = j
+	rs.Gear = g
+	rs.Start = now
+	rs.PlannedEnd = now + s.reqDur(j, g)
+	rs.ActualEnd = now + s.actDur(j, g)
+	rs.phaseStart = now
+	rs.Reduced = !s.cfg.Gears.IsTop(g)
+	s.relAdd(rs)
 	h, err := s.engine.Schedule(rs.ActualEnd, sim.EvEnd, rs)
 	if err != nil {
 		panic(fmt.Sprintf("sched: scheduling completion of job %d: %v", j.ID, err))
@@ -545,6 +614,7 @@ func (s *System) finish(rs *RunState, now float64) {
 	if err := s.cl.Release(rs.Alloc, now); err != nil {
 		panic(fmt.Sprintf("sched: release invariant broken for job %d: %v", rs.Job.ID, err))
 	}
+	s.relRemove(rs)
 	if s.cfg.Compat.ScanRemoval {
 		for i, r := range s.runList {
 			if r == rs {
@@ -568,6 +638,11 @@ func (s *System) finish(rs *RunState, now float64) {
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.JobFinished(rs, now)
 	}
+	if !s.cfg.Compat.ScratchAlloc {
+		// The RunState is dead once its completion callbacks returned:
+		// recycle it (recorders must not retain it past JobFinished).
+		s.rsPool = append(s.rsPool, rs)
+	}
 }
 
 // SetGear switches a running job to gear g at time now, rescaling its
@@ -578,6 +653,7 @@ func (s *System) SetGear(rs *RunState, g dvfs.Gear, now float64) {
 	if g == rs.Gear {
 		return
 	}
+	s.relRemove(rs) // the schedule holds the old PlannedEnd
 	oldCoef := s.Coef(rs.Job, rs.Gear)
 	dur := now - rs.phaseStart
 	if dur > 0 {
@@ -598,6 +674,7 @@ func (s *System) SetGear(rs *RunState, g dvfs.Gear, now float64) {
 	}
 	rs.ActualEnd = now + remWork*newCoef
 	rs.PlannedEnd = now + remReq*newCoef
+	s.relAdd(rs)
 	if !s.cfg.Gears.IsTop(g) {
 		rs.Reduced = true
 	}

@@ -55,7 +55,9 @@ func (a *auditRecorder) JobFinished(rs *RunState, now float64) {
 	id := rs.Job.ID
 	a.ends[id] = now
 	a.reduced[id] = rs.Reduced
-	a.phases[id] = rs.Phases
+	// Copy: the scheduler recycles RunStates (and their Phases backing
+	// arrays) once JobFinished returns.
+	a.phases[id] = append([]Phase(nil), rs.Phases...)
 	a.busy -= rs.Job.Procs
 }
 
