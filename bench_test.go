@@ -11,12 +11,14 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dvfs"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sweep"
@@ -480,6 +482,111 @@ func BenchmarkConservativeMillionPreset(b *testing.B) {
 			})
 		}
 	}
+}
+
+// tightGC prepares a heap-measuring benchmark: it drops the shared trace
+// cache (other benches' cached Million traces would otherwise sit in the
+// live set) and pins the GC growth target to 20%, so the measured
+// high-water tracks live memory instead of collection lag — which under
+// the default GOGC=100 is proportional to whatever previous benchmarks
+// left alive, not to this run's footprint. The cache refills on demand
+// and the GC target is restored when the benchmark ends.
+func tightGC(b *testing.B) {
+	b.Helper()
+	traceMu.Lock()
+	traceCache = map[string]*workload.Trace{}
+	traceMu.Unlock()
+	old := debug.SetGCPercent(20)
+	b.Cleanup(func() { debug.SetGCPercent(old) })
+}
+
+// BenchmarkStreamingMillionHeap measures the tentpole of the streaming
+// workload pipeline: the peak live heap of a Million-preset 1M-job EASY
+// replay, materialized (trace generated upfront, scheduler reads the
+// slice) versus streamed (wgen.Stream feeds the scheduler job by job).
+// Each sub-run garbage-collects first and reports the heap high-water
+// RELATIVE to that baseline, so the numbers isolate the replay's own
+// footprint from whatever other benchmarks left alive.
+//
+// trace-MB captures the workload-resident component alone, sampled right
+// after the workload is built and before the simulation starts: the
+// materialized slice costs ~90 MB where the streaming source holds only
+// RNG cursors — the O(trace) → O(1) conversion the refactor is about.
+// The run results are asserted identical across modes, so the memory win
+// is free of semantic drift. cmd/benchgate gates the streamed
+// peak-heap-MB against BENCH_sched.json in CI.
+func BenchmarkStreamingMillionHeap(b *testing.B) {
+	tightGC(b)
+	var materialized *metrics.Results
+	for _, mode := range []string{"materialized", "streamed"} {
+		b.Run(fmt.Sprintf("jobs=%d/%s", wgen.MillionJobs, mode), func(b *testing.B) {
+			var last runner.Outcome
+			var peakMB, traceMB float64
+			for i := 0; i < b.N; i++ {
+				heap := metrics.NewHeapWatermark(0)
+				spec := runner.Spec{ExtraRecorders: []sched.Recorder{heap}}
+				if mode == "materialized" {
+					tr, err := wgen.Generate(wgen.Million())
+					if err != nil {
+						b.Fatal(err)
+					}
+					spec.Trace = tr
+				} else {
+					src, err := wgen.Stream(wgen.Million())
+					if err != nil {
+						b.Fatal(err)
+					}
+					spec.Source = src
+				}
+				heap.Sample()
+				traceMB = heap.PeakMB()
+				out, err := runner.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				heap.Sample()
+				peakMB = heap.PeakMB()
+				last = out
+			}
+			b.ReportMetric(float64(wgen.MillionJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+			b.ReportMetric(peakMB, "peak-heap-MB")
+			b.ReportMetric(traceMB, "trace-MB")
+			b.ReportMetric(float64(last.PeakEvents), "peak-events")
+			if mode == "materialized" {
+				r := last.Results
+				materialized = &r
+			} else if materialized != nil && last.Results != *materialized {
+				b.Fatalf("streamed replay diverged from materialized:\n%+v\n%+v", last.Results, *materialized)
+			}
+		})
+	}
+}
+
+// BenchmarkStreamingTenMillionReplay replays the full TenMillion preset —
+// ten million jobs, a workload whose materialized form (~1 GB) does not
+// fit a CI runner — through the streaming pipeline, proving the scale the
+// refactor opens: generation, scheduling and metrics all run in
+// O(running jobs) live memory.
+func BenchmarkStreamingTenMillionReplay(b *testing.B) {
+	tightGC(b)
+	for i := 0; i < b.N; i++ {
+		heap := metrics.NewHeapWatermark(0)
+		src, err := wgen.Stream(wgen.TenMillion())
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := runner.Run(runner.Spec{Source: src, ExtraRecorders: []sched.Recorder{heap}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		heap.Sample()
+		if out.Results.Jobs != wgen.TenMillionJobs {
+			b.Fatalf("completed %d jobs, want %d", out.Results.Jobs, wgen.TenMillionJobs)
+		}
+		b.ReportMetric(heap.PeakMB(), "peak-heap-MB")
+		b.ReportMetric(float64(out.PeakEvents), "peak-events")
+	}
+	b.ReportMetric(float64(wgen.TenMillionJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 // --- ablations ------------------------------------------------------------

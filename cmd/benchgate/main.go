@@ -1,18 +1,27 @@
-// Command benchgate guards the scheduler hot path's throughput in CI: it
-// parses `go test -bench` output and compares the Million-preset
-// seed-vs-optimized speedup ratio against the last committed entry of
-// BENCH_sched.json. A drop beyond the allowed fraction fails the build.
+// Command benchgate guards the scheduler hot path's throughput and the
+// streaming pipeline's memory footprint in CI: it parses `go test -bench`
+// output and compares two quantities against the last committed entries
+// of BENCH_sched.json, failing the build on a regression beyond the
+// allowed fraction.
 //
-// The gate is a ratio, not absolute jobs/s, on purpose: both modes run
-// in the same bench invocation on the same host, so dividing them
+// Gate 1 — throughput: the Million-preset seed-vs-optimized speedup
+// ratio. The gate is a ratio, not absolute jobs/s, on purpose: both modes
+// run in the same bench invocation on the same host, so dividing them
 // cancels runner hardware out — a slow CI machine scales both numbers
 // down together, while an accidental O(n²) hiding in the optimized pass
 // loop craters only the numerator. Absolute thresholds would instead
 // track whatever hardware CI happens to land on.
 //
+// Gate 2 — memory: the streamed Million replay's peak-heap-MB high-water
+// (BenchmarkStreamingMillionHeap). Unlike wall clock, the allocation
+// pattern of a deterministic replay is essentially host-independent, so
+// this gate compares the absolute megabytes: an O(trace) slice sneaking
+// back into the streaming path shows up as a ~5x jump, far beyond the
+// regression allowance.
+//
 // Usage:
 //
-//	go test -run '^$' -bench HotPathSeedVsOptimized -benchtime 1x . | tee bench.out
+//	go test -run '^$' -bench 'HotPathSeedVsOptimized|StreamingMillionHeap' -benchtime 1x . | tee bench.out
 //	go run ./cmd/benchgate -bench bench.out
 package main
 
@@ -26,15 +35,16 @@ import (
 	"strings"
 )
 
-// benchFile mirrors the subset of BENCH_sched.json the gate needs.
+// benchFile mirrors the subset of BENCH_sched.json the gates need.
 type benchFile struct {
 	Entries []struct {
 		PR        int    `json:"pr"`
 		Benchmark string `json:"benchmark"`
 		Results   []struct {
-			Jobs     int     `json:"jobs"`
-			Mode     string  `json:"mode"`
-			JobsPerS float64 `json:"jobs_per_s"`
+			Jobs       int     `json:"jobs"`
+			Mode       string  `json:"mode"`
+			JobsPerS   float64 `json:"jobs_per_s"`
+			PeakHeapMB float64 `json:"peak_heap_mb"`
 		} `json:"results"`
 	} `json:"entries"`
 }
@@ -43,9 +53,11 @@ func main() {
 	var (
 		benchPath  = flag.String("bench", "bench.out", "go test -bench output to scan")
 		basePath   = flag.String("baseline", "BENCH_sched.json", "committed performance trajectory")
-		benchmark  = flag.String("benchmark", "BenchmarkHotPathSeedVsOptimized", "benchmark to gate on")
+		benchmark  = flag.String("benchmark", "BenchmarkHotPathSeedVsOptimized", "throughput benchmark to gate on")
 		jobs       = flag.Int("jobs", 1_000_000, "Million-preset job count of the gated sub-runs")
 		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed fractional drop of the optimized/seed speedup")
+		heapBench  = flag.String("heap-benchmark", "BenchmarkStreamingMillionHeap", "streaming peak-heap benchmark to gate on (empty disables the heap gate)")
+		heapGrowth = flag.Float64("heap-max-growth", 0.20, "maximum allowed fractional growth of the streamed peak heap")
 	)
 	flag.Parse()
 
@@ -54,11 +66,11 @@ func main() {
 		fatal(err)
 	}
 	prefix := fmt.Sprintf("%s/jobs=%d/", *benchmark, *jobs)
-	seed, err := measuredJobsPerSec(*benchPath, prefix+"seed")
+	seed, err := measuredMetric(*benchPath, prefix+"seed", "jobs/s")
 	if err != nil {
 		fatal(err)
 	}
-	opt, err := measuredJobsPerSec(*benchPath, prefix+"optimized")
+	opt, err := measuredMetric(*benchPath, prefix+"optimized", "jobs/s")
 	if err != nil {
 		fatal(err)
 	}
@@ -69,6 +81,25 @@ func main() {
 	if ratio < floor {
 		fatal(fmt.Errorf("speedup regressed %.1f%% (> %.0f%% allowed): %.2fx < %.2fx",
 			100*(1-ratio/baseRatio), 100**maxRegress, ratio, floor))
+	}
+
+	if *heapBench != "" {
+		baseHeap, err := baselineHeapMB(*basePath, *heapBench, *jobs, "streamed")
+		if err != nil {
+			fatal(err)
+		}
+		target := fmt.Sprintf("%s/jobs=%d/streamed", *heapBench, *jobs)
+		heap, err := measuredMetric(*benchPath, target, "peak-heap-MB")
+		if err != nil {
+			fatal(err)
+		}
+		ceiling := baseHeap * (1 + *heapGrowth)
+		fmt.Printf("benchgate: streamed peak heap %.1f MB; baseline %.1f MB, ceiling %.1f MB\n",
+			heap, baseHeap, ceiling)
+		if heap > ceiling {
+			fatal(fmt.Errorf("streamed peak heap grew %.1f%% (> %.0f%% allowed): %.1f MB > %.1f MB",
+				100*(heap/baseHeap-1), 100**heapGrowth, heap, ceiling))
+		}
 	}
 	fmt.Println("benchgate: ok")
 }
@@ -113,10 +144,34 @@ func baselineRatio(path, benchmark string, jobs int) (float64, error) {
 	return 0, fmt.Errorf("%s: no %s entry with seed+optimized rows at jobs=%d", path, benchmark, jobs)
 }
 
-// measuredJobsPerSec scans go-test bench output for the target sub-run
-// and returns the value reported with the jobs/s unit. Benchmark lines
-// read: Name-P  N  <value> <unit>  <value> <unit> ...
-func measuredJobsPerSec(path, target string) (float64, error) {
+// baselineHeapMB returns the peak_heap_mb of the newest BENCH_sched.json
+// entry of the benchmark carrying a row at the given job count and mode.
+func baselineHeapMB(path, benchmark string, jobs int, mode string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for i := len(bf.Entries) - 1; i >= 0; i-- {
+		if bf.Entries[i].Benchmark != benchmark {
+			continue
+		}
+		for _, r := range bf.Entries[i].Results {
+			if r.Jobs == jobs && r.Mode == mode && r.PeakHeapMB > 0 {
+				return r.PeakHeapMB, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("%s: no %s entry with a %s peak_heap_mb row at jobs=%d", path, benchmark, mode, jobs)
+}
+
+// measuredMetric scans go-test bench output for the target sub-run and
+// returns the value reported with the given unit. Benchmark lines read:
+// Name-P  N  <value> <unit>  <value> <unit> ...
+func measuredMetric(path, target, unit string) (float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
@@ -130,7 +185,7 @@ func measuredJobsPerSec(path, target string) (float64, error) {
 			continue
 		}
 		for i := 2; i < len(fields)-1; i++ {
-			if fields[i+1] == "jobs/s" {
+			if fields[i+1] == unit {
 				v, err := strconv.ParseFloat(fields[i], 64)
 				if err != nil {
 					return 0, fmt.Errorf("parsing %q: %w", fields[i], err)
@@ -138,7 +193,7 @@ func measuredJobsPerSec(path, target string) (float64, error) {
 				return v, nil
 			}
 		}
-		return 0, fmt.Errorf("bench line for %s carries no jobs/s metric", target)
+		return 0, fmt.Errorf("bench line for %s carries no %s metric", target, unit)
 	}
 	if err := sc.Err(); err != nil {
 		return 0, err

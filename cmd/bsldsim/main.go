@@ -11,6 +11,7 @@
 //	bsldsim -workload CTC -bsld 3 -wq -1 -size 1.2
 //	bsldsim -swf mytrace.swf -cpus 512 -bsld 2 -wq 0
 //	bsldsim -workload CTC -nodvfs            # EASY baseline
+//	bsldsim -workload TenMillion -stream     # 10M jobs, O(running jobs) memory
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 		beta    = flag.Float64("beta", runner.DefaultBeta, "β of the execution time model")
 		variant = flag.String("policy", "easy", "base scheduling policy: easy, fcfs, conservative")
 		sel     = flag.String("select", "firstfit", "resource selection policy: firstfit, contiguous, nextfit")
+		stream  = flag.Bool("stream", false, "stream the workload instead of materializing it: presets generate lazily, SWF files are read incrementally — O(running jobs) memory at any trace length")
 		noDVFS  = flag.Bool("nodvfs", false, "disable frequency scaling (baseline)")
 		strict  = flag.Bool("strict-backfill", false, "literal Figure 2 semantics: BSLD check gates backfills even at Ftop")
 		boost   = flag.Int("boost", -1, "dynamic boost extension: raise running reduced jobs to Ftop when more than N jobs wait; -1 disables")
@@ -58,7 +60,7 @@ func main() {
 	if *cfgPath != "" {
 		err = runConfig(*cfgPath, *verbose, *asJSON, *dump)
 	} else {
-		err = run(*wl, *swf, *cpus, *jobs, *bsldThr, *wqThr, *size, *beta, *variant, *sel, *noDVFS, *strict, *dropF, *boost, *verbose, *asJSON, *dump)
+		err = run(*wl, *swf, *cpus, *jobs, *bsldThr, *wqThr, *size, *beta, *variant, *sel, *stream, *noDVFS, *strict, *dropF, *boost, *verbose, *asJSON, *dump)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bsldsim:", err)
@@ -97,7 +99,7 @@ func runConfig(path string, verbose, asJSON bool, dump string) error {
 			return err
 		}
 	}
-	return report(spec.Trace, out, baseOut, spec.Variant, spec.Selection, sizeFactor, verbose, asJSON)
+	return report(spec.Trace.Name, out, baseOut, spec.Variant, spec.Selection, sizeFactor, verbose, asJSON)
 }
 
 // dumpRecords writes the per-job outcomes for offline analysis.
@@ -142,10 +144,25 @@ type jsonReport struct {
 }
 
 func run(wl, swf string, cpus, jobs int, bsldThr float64, wqThr int, size, beta float64,
-	variant, sel string, noDVFS, strict, dropFailed bool, boost int, verbose, asJSON bool, dump string) error {
-	tr, err := loadTrace(wl, swf, cpus, jobs, dropFailed)
-	if err != nil {
-		return err
+	variant, sel string, stream, noDVFS, strict, dropFailed bool, boost int, verbose, asJSON bool, dump string) error {
+	var (
+		tr   *workload.Trace
+		src  workload.JobSource
+		name string
+		err  error
+	)
+	if stream {
+		src, err = loadSource(wl, swf, cpus, jobs, dropFailed)
+		if err != nil {
+			return err
+		}
+		name = src.Name()
+	} else {
+		tr, err = loadTrace(wl, swf, cpus, jobs, dropFailed)
+		if err != nil {
+			return err
+		}
+		name = tr.Name
 	}
 	var v sched.Variant
 	switch strings.ToLower(variant) {
@@ -163,7 +180,7 @@ func run(wl, swf string, cpus, jobs int, bsldThr float64, wqThr int, size, beta 
 		return err
 	}
 
-	spec := runner.Spec{Trace: tr, SizeFactor: size, Variant: v, Beta: beta,
+	spec := runner.Spec{Trace: tr, Source: src, SizeFactor: size, Variant: v, Beta: beta,
 		Selection: selection, KeepCollector: verbose || dump != ""}
 	if !noDVFS {
 		gears := dvfs.PaperGearSet()
@@ -187,7 +204,9 @@ func run(wl, swf string, cpus, jobs int, bsldThr float64, wqThr int, size, beta 
 	if err != nil {
 		return err
 	}
-	base, err := runner.Run(runner.Spec{Trace: tr, SizeFactor: size, Variant: v, Beta: beta})
+	// The baseline replays the same workload; runner.Run rewinds the
+	// shared source before each simulation.
+	base, err := runner.Run(runner.Spec{Trace: tr, Source: src, SizeFactor: size, Variant: v, Beta: beta})
 	if err != nil {
 		return err
 	}
@@ -196,16 +215,16 @@ func run(wl, swf string, cpus, jobs int, bsldThr float64, wqThr int, size, beta 
 			return err
 		}
 	}
-	return report(tr, out, base, v, selection, size, verbose, asJSON)
+	return report(name, out, base, v, selection, size, verbose, asJSON)
 }
 
 // report renders the outcome in either human or JSON form.
-func report(tr *workload.Trace, out, base runner.Outcome, v sched.Variant,
+func report(name string, out, base runner.Outcome, v sched.Variant,
 	selection cluster.Selection, size float64, verbose, asJSON bool) error {
 	r := out.Results
 	if asJSON {
 		rep := jsonReport{
-			Workload: tr.Name, Jobs: r.Jobs, CPUs: out.CPUs, SizeFactor: size,
+			Workload: name, Jobs: r.Jobs, CPUs: out.CPUs, SizeFactor: size,
 			Policy: out.Policy, Variant: v.String(),
 			AvgBSLD: r.AvgBSLD, AvgWaitSec: r.AvgWait, MaxWaitSec: r.MaxWait,
 			ReducedJobs: r.ReducedJobs, Utilization: r.Utilization, WindowSec: r.Window,
@@ -217,7 +236,7 @@ func report(tr *workload.Trace, out, base runner.Outcome, v sched.Variant,
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
 	}
-	fmt.Printf("workload      %s (%d jobs, %d CPUs, size ×%.2f)\n", tr.Name, r.Jobs, out.CPUs, size)
+	fmt.Printf("workload      %s (%d jobs, %d CPUs, size ×%.2f)\n", name, r.Jobs, out.CPUs, size)
 	fmt.Printf("policy        %s over %s\n", out.Policy, v)
 	fmt.Printf("avg BSLD      %.2f\n", r.AvgBSLD)
 	fmt.Printf("avg wait      %.0f s   (max %.0f s)\n", r.AvgWait, r.MaxWait)
@@ -270,21 +289,23 @@ func report(tr *workload.Trace, out, base runner.Outcome, v sched.Variant,
 	return nil
 }
 
-func loadTrace(wl, swf string, cpus, jobs int, dropFailed bool) (*workload.Trace, error) {
+// loadSource resolves the workload as a streaming source: presets
+// generate jobs lazily, SWF files are read incrementally. Either way a
+// simulation holds O(running jobs) memory instead of the whole trace.
+// An explicit -swf path is loaded as a file whatever its extension;
+// otherwise wgen's shared name resolution applies.
+func loadSource(wl, swf string, cpus, jobs int, dropFailed bool) (workload.JobSource, error) {
+	filter := workload.SWFFilter{DropFailed: dropFailed}
 	if swf != "" {
-		f, err := os.Open(swf)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return workload.ParseSWFFiltered(f, swf, cpus, workload.SWFFilter{DropFailed: dropFailed})
+		return workload.OpenSWFSource(swf, cpus, filter)
 	}
-	model, err := wgen.Preset(wl)
-	if err != nil {
-		return nil, err
+	return wgen.ResolveSource(wl, cpus, jobs, filter)
+}
+
+func loadTrace(wl, swf string, cpus, jobs int, dropFailed bool) (*workload.Trace, error) {
+	filter := workload.SWFFilter{DropFailed: dropFailed}
+	if swf != "" {
+		return workload.ParseSWFFile(swf, cpus, filter)
 	}
-	if jobs > 0 {
-		model.Jobs = jobs
-	}
-	return wgen.Generate(model)
+	return wgen.ResolveTrace(wl, cpus, jobs, filter)
 }

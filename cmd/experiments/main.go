@@ -24,12 +24,16 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "trace segment length; 0 = the paper's 5000")
 		outdir  = flag.String("outdir", "out", "directory for CSV files; empty disables")
 		workers = flag.Int("workers", 0, "parallel simulations; 0 = GOMAXPROCS")
+		stream  = flag.Bool("stream", false, "stream workloads per cell (independent lazy sources) instead of caching materialized traces; identical results")
 		ext     = flag.Bool("ext", false, "also run the beyond-the-paper extension experiments")
 		svg     = flag.Bool("svg", false, "also render the figures as SVG files in the output directory")
 	)
 	flag.Parse()
 	start := time.Now()
 	s := experiments.NewSuite(*jobs)
+	if *stream {
+		s = experiments.NewStreamingSuite(*jobs)
+	}
 	if err := experiments.RunAll(s, os.Stdout, *outdir, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

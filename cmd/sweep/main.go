@@ -45,6 +45,7 @@ func main() {
 		orders     = flag.String("orders", "", "comma-separated queue orders: fcfs,sjf")
 		res        = flag.String("res", "", "comma-separated EASY reservation depths")
 		jobs       = flag.Int("jobs", wgen.StandardJobs, "trace segment length for presets; 0 = the model's native length (5000 for the paper presets, 1000000 for Million)")
+		stream     = flag.Bool("stream", false, "give every run an independent streaming source (presets regenerate lazily, SWF files are read incrementally) instead of sharing one materialized trace")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
 		format     = flag.String("format", "csv", "output format: csv or json")
 		progress   = flag.Bool("progress", false, "print per-run progress to stderr")
@@ -57,6 +58,15 @@ func main() {
 		fatal(err)
 	}
 	resolver := &sweep.Resolver{Trace: sweep.CachedLoader(loader(*jobs))}
+	if *stream {
+		// One independent source per run: workers regenerate instead of
+		// sharing a materialized slice. For wgen presets the results are
+		// byte-identical to the materialized path; for .swf files the
+		// incremental reader keeps file order where the materialized
+		// parser tie-breaks equal submit times by job ID, so logs with
+		// out-of-ID-order ties may schedule (correctly but) differently.
+		resolver = &sweep.Resolver{Source: sourceLoader(*jobs)}
+	}
 	pool := &sweep.Pool{Workers: *workers}
 	if *progress {
 		pool.OnProgress = func(done, total int, r sweep.Result) {
@@ -95,26 +105,19 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// loader resolves trace names: wgen presets at the requested segment
-// length, or SWF files by path.
+// loader resolves trace names through wgen's shared resolution: presets
+// at the requested segment length, or SWF files by path.
 func loader(jobs int) func(name string) (*workload.Trace, error) {
 	return func(name string) (*workload.Trace, error) {
-		if strings.HasSuffix(name, ".swf") {
-			f, err := os.Open(name)
-			if err != nil {
-				return nil, err
-			}
-			defer f.Close()
-			return workload.ParseSWF(f, name, 0)
-		}
-		m, err := wgen.Preset(name)
-		if err != nil {
-			return nil, err
-		}
-		if jobs > 0 {
-			m.Jobs = jobs
-		}
-		return wgen.Generate(m)
+		return wgen.ResolveTrace(name, 0, jobs, workload.SWFFilter{})
+	}
+}
+
+// sourceLoader resolves trace names to independent streaming sources:
+// wgen presets generate lazily per run, SWF files are read incrementally.
+func sourceLoader(jobs int) func(name string) (workload.JobSource, error) {
+	return func(name string) (workload.JobSource, error) {
+		return wgen.ResolveSource(name, 0, jobs, workload.SWFFilter{})
 	}
 }
 

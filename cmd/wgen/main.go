@@ -2,9 +2,15 @@
 // Workload Format, or summarizes an existing SWF file, so the calibrated
 // models can be inspected, exported and exchanged with other schedulers.
 //
+// Generation streams by default: jobs are produced lazily (wgen.Stream)
+// and written as they appear, so exporting even the 10M-job TenMillion
+// preset stays flat in memory. The output is byte-identical to the
+// materialized path (-stream=false), which remains for comparison.
+//
 // Usage:
 //
-//	wgen -workload SDSCBlue > sdscblue.swf     # export a model
+//	wgen -workload SDSCBlue > sdscblue.swf     # export a model (streamed)
+//	wgen -workload TenMillion > huge.swf       # 10M jobs, O(1) memory
 //	wgen -workload CTC -jobs 1000 -seed 7      # shorter trace, new seed
 //	wgen -inspect trace.swf [-cpus 512]        # summarize an SWF file
 //	wgen -list                                 # list built-in models
@@ -22,49 +28,50 @@ import (
 func main() {
 	var (
 		wl      = flag.String("workload", "", "built-in model to export as SWF")
-		jobs    = flag.Int("jobs", wgen.StandardJobs, "number of jobs to generate")
+		jobs    = flag.Int("jobs", 0, "number of jobs to generate; 0 = the model's native length")
 		seed    = flag.Int64("seed", 0, "override the model's RNG seed (0 keeps the default)")
+		stream  = flag.Bool("stream", true, "generate lazily in O(1) memory; false materializes the trace first (identical output)")
 		inspect = flag.String("inspect", "", "summarize this SWF file instead of generating")
 		cpus    = flag.Int("cpus", 0, "system size for -inspect files without a MaxProcs header")
 		list    = flag.Bool("list", false, "list the built-in workload models")
 	)
 	flag.Parse()
-	if err := run(*wl, *jobs, *seed, *inspect, *cpus, *list); err != nil {
+	if err := run(*wl, *jobs, *seed, *stream, *inspect, *cpus, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "wgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl string, jobs int, seed int64, inspect string, cpus int, list bool) error {
+func run(wl string, jobs int, seed int64, stream bool, inspect string, cpus int, list bool) error {
 	switch {
 	case list:
-		fmt.Printf("%-12s %6s %6s %6s %5s\n", "name", "cpus", "jobs", "load", "cv")
-		for _, m := range wgen.Presets() {
-			fmt.Printf("%-12s %6d %6d %6.2f %5.1f\n", m.Name, m.CPUs, m.Jobs, m.Load, m.ArrivalCV)
+		fmt.Printf("%-12s %8s %8s %6s %5s\n", "name", "cpus", "jobs", "load", "cv")
+		for _, m := range append(wgen.Presets(), wgen.Million(), wgen.TenMillion()) {
+			fmt.Printf("%-12s %8d %8d %6.2f %5.1f\n", m.Name, m.CPUs, m.Jobs, m.Load, m.ArrivalCV)
 		}
 		return nil
 
 	case inspect != "":
-		f, err := os.Open(inspect)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		tr, err := workload.ParseSWF(f, inspect, cpus)
-		if err != nil {
-			return err
-		}
-		summarize(tr)
-		return nil
+		return summarizeFile(inspect, cpus)
 
 	case wl != "":
 		model, err := wgen.Preset(wl)
 		if err != nil {
 			return err
 		}
-		model.Jobs = jobs
+		if jobs > 0 {
+			model.Jobs = jobs
+		}
 		if seed != 0 {
 			model.Seed = seed
+		}
+		if stream {
+			src, err := wgen.Stream(model)
+			if err != nil {
+				return err
+			}
+			_, err = workload.WriteSWFStream(os.Stdout, src)
+			return err
 		}
 		tr, err := wgen.Generate(model)
 		if err != nil {
@@ -77,10 +84,37 @@ func run(wl string, jobs int, seed int64, inspect string, cpus int, list bool) e
 	}
 }
 
-func summarize(tr *workload.Trace) {
-	st := tr.ComputeStats()
-	fmt.Printf("trace        %s\n", tr.Name)
-	fmt.Printf("system       %d CPUs\n", tr.CPUs)
+// summarizeFile computes trace statistics in one streaming pass (flat in
+// memory at any log size), falling back to the materializing parser for
+// logs the incremental reader rejects (e.g. out-of-order submits).
+func summarizeFile(path string, cpus int) error {
+	src, err := workload.OpenSWFSource(path, cpus, workload.SWFFilter{})
+	if err == nil {
+		defer src.Close()
+		st, serr := workload.StatsOf(src)
+		if serr == nil {
+			summarize(path, src.CPUs(), st)
+			return nil
+		}
+		err = serr
+	}
+	// Fall back: materialize, sort and retry (matches old behavior).
+	f, ferr := os.Open(path)
+	if ferr != nil {
+		return err
+	}
+	defer f.Close()
+	tr, perr := workload.ParseSWF(f, path, cpus)
+	if perr != nil {
+		return perr
+	}
+	summarize(tr.Name, tr.CPUs, tr.ComputeStats())
+	return nil
+}
+
+func summarize(name string, cpus int, st workload.Stats) {
+	fmt.Printf("trace        %s\n", name)
+	fmt.Printf("system       %d CPUs\n", cpus)
 	fmt.Printf("jobs         %d\n", st.Jobs)
 	fmt.Printf("span         %.0f s (%.1f days)\n", st.Span, st.Span/86400)
 	fmt.Printf("demand       %.0f CPU-hours\n", st.TotalCPUHours)

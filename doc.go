@@ -19,16 +19,27 @@
 //
 // # Scale
 //
-// The scheduler hot path is built for million-job traces (the wgen
-// Million preset; BENCH_sched.json tracks the trajectory and CI's
-// cmd/benchgate fails the build when the Million-preset optimized/seed
-// speedup ratio drops more than 20% against it). Five properties keep
-// it fast and flat in memory:
+// The scheduler hot path is built for multi-million-job workloads (the
+// wgen Million and TenMillion presets; BENCH_sched.json tracks the
+// trajectory and CI's cmd/benchgate fails the build when the
+// Million-preset optimized/seed speedup ratio drops more than 20% — or
+// the streamed replay's peak heap grows more than 20% — against it).
+// Six properties keep it fast and flat in memory:
 //
-//   - Streaming arrivals: sched.System.Simulate feeds arrivals lazily
-//     from the submit-sorted trace, so the event heap holds only
-//     running-job completions plus a single pending arrival —
-//     O(running jobs), not O(trace).
+//   - Streaming workloads: workload.JobSource streams jobs one at a time
+//     end to end — wgen.Stream generates presets lazily from replayed
+//     RNG cursors (byte-identical to the materialized Generate),
+//     workload.SWFSource reads logs incrementally with the same filter
+//     hooks, and combinators (Concat, Repeat, MergeByArrival, Scale,
+//     Filter) compose scenarios without materializing them. The
+//     scheduler (sched.System.SimulateSource, runner.Spec.Source) pulls
+//     from the cursor, so a ten-million-job replay peaks below 20 MB
+//     where the trace slice alone would cost ~920 MB; sweeps give every
+//     worker an independent source instead of one shared slice.
+//   - Streaming arrivals: the scheduler feeds arrivals lazily from the
+//     source cursor, so the event heap holds only running-job
+//     completions plus a single pending arrival — O(running jobs), not
+//     O(trace).
 //   - O(1) completion removal: the run list tombstones finished entries
 //     by index and compacts lazily, preserving exact start-order
 //     iteration (which the EASY shadow computation and the

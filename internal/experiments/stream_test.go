@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestStreamingSuiteMatchesMaterialized: a streaming suite's cells are
+// bit-identical to the default suite's — the experiment tables cannot
+// tell which workload pipeline produced them.
+func TestStreamingSuiteMatchesMaterialized(t *testing.T) {
+	cfgs := []Config{
+		{Workload: "CTC"},
+		{Workload: "CTC", BSLDThr: 2, WQThr: 16},
+		{Workload: "SDSCBlue", BSLDThr: 3, WQThr: 0, SizeFactor: 1.2},
+	}
+	mat, str := NewSuite(400), NewStreamingSuite(400)
+	for _, cfg := range cfgs {
+		want, err := mat.Cell(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := str.Cell(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Results != want.Results || got.CPUs != want.CPUs {
+			t.Fatalf("cell %+v: streaming results differ", cfg)
+		}
+		if len(got.WaitSeries) != len(want.WaitSeries) {
+			t.Fatalf("cell %+v: wait series %d vs %d points", cfg, len(got.WaitSeries), len(want.WaitSeries))
+		}
+		for i := range got.WaitSeries {
+			if got.WaitSeries[i] != want.WaitSeries[i] {
+				t.Fatalf("cell %+v: wait series point %d differs", cfg, i)
+			}
+		}
+	}
+}

@@ -51,7 +51,8 @@ type Cell struct {
 
 // Suite lazily runs and caches grid cells. It is safe for concurrent use.
 type Suite struct {
-	jobs int // trace length (paper: 5000); smaller for quick tests
+	jobs   int  // trace length (paper: 5000); smaller for quick tests
+	stream bool // stream workloads per cell instead of caching traces
 
 	mu     sync.Mutex
 	traces map[string]*workload.Trace
@@ -74,6 +75,16 @@ func NewSuite(jobs int) *Suite {
 		gears:  gears,
 		tm:     dvfs.NewTimeModel(runner.DefaultBeta, gears),
 	}
+}
+
+// NewStreamingSuite returns a suite whose cells stream their workloads:
+// every simulation gets an independent lazily-generating source instead
+// of a shared cached trace, so the suite's memory is bounded by cell
+// results, not trace length. Results are bit-identical to NewSuite's.
+func NewStreamingSuite(jobs int) *Suite {
+	s := NewSuite(jobs)
+	s.stream = true
+	return s
 }
 
 // Jobs returns the configured trace segment length.
@@ -114,11 +125,25 @@ func (s *Suite) Cell(cfg Config) (*Cell, error) {
 	}
 	s.mu.Unlock()
 
-	tr, err := s.trace(cfg.Workload)
-	if err != nil {
-		return nil, err
+	spec := runner.Spec{SizeFactor: cfg.SizeFactor, KeepCollector: true}
+	if s.stream {
+		model, err := wgen.Preset(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		model.Jobs = s.jobs
+		src, err := wgen.Stream(model)
+		if err != nil {
+			return nil, err
+		}
+		spec.Source = src
+	} else {
+		tr, err := s.trace(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		spec.Trace = tr
 	}
-	spec := runner.Spec{Trace: tr, SizeFactor: cfg.SizeFactor, KeepCollector: true}
 	if !cfg.baseline() {
 		pol, err := core.NewPolicy(core.Params{
 			BSLDThreshold: cfg.BSLDThr,
@@ -169,18 +194,21 @@ func (s *Suite) Prefetch(cfgs []Config, workers int) error {
 		}
 	}
 	// Pre-generate traces serially: cheap, and avoids duplicate work.
-	names := make(map[string]bool)
-	for _, c := range uniq {
-		names[c.Workload] = true
-	}
-	sorted := make([]string, 0, len(names))
-	for n := range names {
-		sorted = append(sorted, n)
-	}
-	sort.Strings(sorted)
-	for _, n := range sorted {
-		if _, err := s.trace(n); err != nil {
-			return err
+	// Streaming suites regenerate per cell and have nothing to warm.
+	if !s.stream {
+		names := make(map[string]bool)
+		for _, c := range uniq {
+			names[c.Workload] = true
+		}
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		for _, n := range sorted {
+			if _, err := s.trace(n); err != nil {
+				return err
+			}
 		}
 	}
 	pool := &sweep.Pool{Workers: workers}

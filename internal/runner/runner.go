@@ -23,7 +23,14 @@ const DefaultBeta = 0.5
 // Spec describes one simulation run. Zero values select the paper's
 // defaults.
 type Spec struct {
+	// Trace is the materialized workload. Exactly one of Trace and Source
+	// must be set.
 	Trace *workload.Trace
+	// Source streams the workload instead of materializing it: a replay
+	// holds O(running jobs) live memory regardless of trace length. Run
+	// rewinds the source, so the same Spec can be executed repeatedly
+	// (BaselinePair does).
+	Source workload.JobSource
 
 	// SizeFactor scales the machine relative to the trace's original
 	// system (1.0 = original, 1.2 = "20% increased"). Zero means 1.0.
@@ -74,8 +81,11 @@ type Outcome struct {
 
 // Run executes the simulation described by spec.
 func Run(spec Spec) (Outcome, error) {
-	if spec.Trace == nil {
+	if spec.Trace == nil && spec.Source == nil {
 		return Outcome{}, fmt.Errorf("runner: nil trace")
+	}
+	if spec.Trace != nil && spec.Source != nil {
+		return Outcome{}, fmt.Errorf("runner: both Trace and Source set; choose one workload input")
 	}
 	gears := spec.Gears
 	if gears == nil {
@@ -93,6 +103,12 @@ func Run(spec Spec) (Outcome, error) {
 	if th == 0 {
 		th = core.DefaultShortJobThreshold
 	}
+	baseCPUs := 0
+	if spec.Trace != nil {
+		baseCPUs = spec.Trace.CPUs
+	} else {
+		baseCPUs = spec.Source.CPUs()
+	}
 	cpus := spec.CPUs
 	if cpus == 0 {
 		f := spec.SizeFactor
@@ -102,7 +118,7 @@ func Run(spec Spec) (Outcome, error) {
 		if f <= 0 {
 			return Outcome{}, fmt.Errorf("runner: non-positive size factor %v", spec.SizeFactor)
 		}
-		cpus = int(math.Round(float64(spec.Trace.CPUs) * f))
+		cpus = int(math.Round(float64(baseCPUs) * f))
 	}
 	pol := spec.Policy
 	if pol == nil {
@@ -133,7 +149,12 @@ func Run(spec Spec) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	if err := sys.Simulate(spec.Trace); err != nil {
+	if spec.Trace != nil {
+		err = sys.Simulate(spec.Trace)
+	} else {
+		err = sys.SimulateSource(spec.Source)
+	}
+	if err != nil {
 		return Outcome{}, err
 	}
 	start, end := col.Window()

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dvfs"
+	"repro/internal/workload"
+)
+
+// valueSource hides SliceSource's stable-pointer fast path, forcing the
+// scheduler through the allocate-per-arrival path every generating source
+// (wgen.Stream, SWFSource) takes.
+type valueSource struct {
+	src *workload.SliceSource
+}
+
+func (v valueSource) Name() string               { return v.src.Name() }
+func (v valueSource) CPUs() int                  { return v.src.CPUs() }
+func (v valueSource) Next() (workload.Job, bool) { return v.src.Next() }
+func (v valueSource) Reset() error               { return v.src.Reset() }
+func (v valueSource) Err() error                 { return v.src.Err() }
+
+// newSystem builds a system for the streaming tests.
+func newSystem(t *testing.T, variant Variant, order Order, resv int) *System {
+	t.Helper()
+	gears := dvfs.PaperGearSet()
+	sys, err := New(Config{
+		CPUs:         16,
+		Gears:        gears,
+		TimeModel:    dvfs.NewTimeModel(0.5, gears),
+		Policy:       topPolicy(),
+		Variant:      variant,
+		Order:        order,
+		Reservations: resv,
+		Recorder:     newAudit(t, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestSimulateSourceMatchesTrace proves the streamed consumption path —
+// jobs copied out of a value source, one pending arrival at a time —
+// schedules identically to the materialized Simulate under every base
+// policy, so the streaming pipeline inherits the determinism guarantees.
+func TestSimulateSourceMatchesTrace(t *testing.T) {
+	fixtures := []struct {
+		name    string
+		variant Variant
+		order   Order
+		resv    int
+	}{
+		{"easy", EASY, FCFSOrder, 0},
+		{"fcfs", FCFS, FCFSOrder, 0},
+		{"conservative", Conservative, FCFSOrder, 0},
+		{"easy-sjf", EASY, SJFOrder, 0},
+		{"flexible-4", EASY, FCFSOrder, 4},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				tr := randomTrace(seed, 16, 200)
+
+				sysA := newSystem(t, fx.variant, fx.order, fx.resv)
+				if err := sysA.Simulate(tr); err != nil {
+					t.Fatal(err)
+				}
+				recA := sysA.cfg.Recorder.(*auditRecorder)
+
+				sysB := newSystem(t, fx.variant, fx.order, fx.resv)
+				if err := sysB.SimulateSource(valueSource{tr.Source()}); err != nil {
+					t.Fatal(err)
+				}
+				recB := sysB.cfg.Recorder.(*auditRecorder)
+
+				if len(recA.starts) != len(recB.starts) {
+					t.Fatalf("seed %d: %d vs %d jobs started", seed, len(recA.starts), len(recB.starts))
+				}
+				for id, st := range recA.starts {
+					if recB.starts[id] != st {
+						t.Fatalf("seed %d: job %d starts %v (trace) vs %v (source)", seed, id, st, recB.starts[id])
+					}
+					if recB.ends[id] != recA.ends[id] {
+						t.Fatalf("seed %d: job %d ends %v (trace) vs %v (source)", seed, id, recA.ends[id], recB.ends[id])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSimulateSourceRewinds: SimulateSource rewinds the source itself, so
+// a half-consumed source still replays the full workload.
+func TestSimulateSourceRewinds(t *testing.T) {
+	tr := randomTrace(3, 16, 50)
+	src := tr.Source()
+	for i := 0; i < 20; i++ {
+		src.Next()
+	}
+	sys := newSystem(t, EASY, FCFSOrder, 0)
+	if err := sys.SimulateSource(src); err != nil {
+		t.Fatal(err)
+	}
+	rec := sys.cfg.Recorder.(*auditRecorder)
+	if len(rec.starts) != 50 {
+		t.Fatalf("scheduled %d jobs, want 50", len(rec.starts))
+	}
+}
+
+// TestSimulateSourceErrors covers the streamed validation paths: empty
+// workloads, machine overflow, malformed jobs and submit regressions all
+// surface as errors instead of panics or silent corruption.
+func TestSimulateSourceErrors(t *testing.T) {
+	job := func(id int, submit float64, procs int) *workload.Job {
+		return &workload.Job{ID: id, Submit: submit, Runtime: 10, Procs: procs, ReqTime: 20}
+	}
+	cases := []struct {
+		name string
+		jobs []*workload.Job
+		want string
+	}{
+		{"empty", nil, "is empty"},
+		{"oversized", []*workload.Job{job(1, 0, 17)}, "needs 17 > 16 processors"},
+		{"invalid", []*workload.Job{job(1, 0, 0)}, "requests 0 processors"},
+		{"unsorted", []*workload.Job{job(1, 100, 1), job(2, 50, 1)}, "not sorted"},
+		{"mid-stream-oversized", []*workload.Job{job(1, 0, 1), job(2, 5, 17)}, "needs 17 > 16 processors"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := newSystem(t, EASY, FCFSOrder, 0)
+			err := sys.SimulateSource(workload.NewSliceSource("bad", 16, tc.jobs))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -153,10 +153,18 @@ type System struct {
 	runList []*RunState
 	runNil  int
 
-	// arrivals streams the trace into the engine: only arrivals[next] is
-	// in the event heap at any time, so heap size stays O(running jobs).
-	arrivals []*workload.Job
-	nextArr  int
+	// src streams the workload into the engine: only one future arrival
+	// is in the event heap at any time, so heap size stays O(running
+	// jobs) — and with a lazily generating source (wgen.Stream, the
+	// incremental SWF reader) total live memory does too. srcPtr is the
+	// source's stable-pointer fast path (SliceSource), which avoids
+	// allocating a Job per arrival on materialized replays.
+	src        workload.JobSource
+	srcPtr     workload.PtrSource
+	srcTrusted bool    // jobs were validated upfront (Simulate); skip per-arrival checks
+	fedJobs    int     // arrivals fed so far
+	lastSubmit float64 // monotonicity check over the stream
+	srcErr     error   // first streaming failure; aborts the run
 
 	// relCache holds the live jobs' planned releases sorted by
 	// (PlannedEnd, job ID). Under the profile-replanning variants
@@ -309,26 +317,69 @@ func (s *System) Simulate(tr *workload.Trace) error {
 			sorted = false
 		}
 	}
+	jobs := tr.Jobs
+	if sorted {
+		// Nothing to do: the adapter below streams jobs in slice order.
+	} else if s.cfg.Compat.UpfrontArrivals {
+		// The seed path historically accepted unsorted traces in file
+		// order — the event heap sorts, with insertion order breaking
+		// submit ties exactly like the stable sort below.
+	} else {
+		jobs = append([]*workload.Job(nil), tr.Jobs...)
+		sort.SliceStable(jobs, func(a, b int) bool {
+			return jobs[a].Submit < jobs[b].Submit
+		})
+	}
+	// Everything feedArrival would check per arrival was just verified
+	// over the whole (now sorted) trace, so the hot path can skip it.
+	return s.simulateSource(workload.NewSliceSource(tr.Name, tr.CPUs, jobs), true)
+}
+
+// SimulateSource schedules every job the source yields and runs to
+// completion. The source is rewound first, so one source can back
+// repeated runs (policy and baseline, sweep cells). Jobs are validated as
+// they stream: a malformed or machine-overflowing job, a submit-time
+// regression, or a source failure aborts the run with an error.
+//
+// Only the next pending arrival is held in the event heap, so with a
+// lazily generating source the whole simulation runs in O(running jobs)
+// live memory regardless of workload length.
+func (s *System) SimulateSource(src workload.JobSource) error {
+	return s.simulateSource(src, false)
+}
+
+// simulateSource is the shared run loop; trusted skips the per-arrival
+// validation for workloads Simulate already verified upfront.
+func (s *System) simulateSource(src workload.JobSource, trusted bool) error {
+	if err := src.Reset(); err != nil {
+		return fmt.Errorf("sched: resetting workload source %q: %w", src.Name(), err)
+	}
+	s.src = src
+	s.srcPtr, _ = src.(workload.PtrSource)
+	s.srcTrusted = trusted
+	s.fedJobs, s.lastSubmit, s.srcErr = 0, 0, nil
 	if s.cfg.Compat.UpfrontArrivals {
-		for _, j := range tr.Jobs {
-			if _, err := s.engine.Schedule(j.Submit, sim.EvArrival, j); err != nil {
-				return fmt.Errorf("sched: scheduling arrival of job %d: %w", j.ID, err)
+		// Seed-era reference behavior: the whole workload enters the event
+		// heap before the run starts — O(trace) heap, kept for benchmarks.
+		for {
+			err := s.feedArrival()
+			if err != nil {
+				return err
+			}
+			if s.src == nil {
+				break
 			}
 		}
-	} else {
-		s.arrivals = tr.Jobs
-		if !sorted {
-			s.arrivals = append([]*workload.Job(nil), tr.Jobs...)
-			sort.SliceStable(s.arrivals, func(a, b int) bool {
-				return s.arrivals[a].Submit < s.arrivals[b].Submit
-			})
-		}
-		s.nextArr = 0
-		if err := s.feedArrival(); err != nil {
-			return err
-		}
+	} else if err := s.feedArrival(); err != nil {
+		return err
+	}
+	if s.fedJobs == 0 {
+		return fmt.Errorf("sched: workload %q is empty", src.Name())
 	}
 	s.engine.Run(s.dispatch)
+	if s.srcErr != nil {
+		return s.srcErr
+	}
 	if len(s.queue) > 0 || s.runningCount() > 0 {
 		return fmt.Errorf("sched: simulation drained with %d queued and %d running jobs",
 			len(s.queue), s.runningCount())
@@ -336,13 +387,56 @@ func (s *System) Simulate(tr *workload.Trace) error {
 	return nil
 }
 
-// feedArrival schedules the next pending arrival of the streamed trace.
+// nextJob pulls the next job from the source, using the stable-pointer
+// fast path when available and allocating otherwise (the job must outlive
+// the stream cursor: it is referenced until its completion callbacks ran).
+func (s *System) nextJob() (*workload.Job, bool) {
+	if s.srcPtr != nil {
+		return s.srcPtr.NextPtr()
+	}
+	j, ok := s.src.Next()
+	if !ok {
+		return nil, false
+	}
+	cp := j
+	return &cp, true
+}
+
+// feedArrival schedules the next pending arrival of the streamed
+// workload, validating it against the machine and the stream's ordering
+// contract. The source is dropped once exhausted.
 func (s *System) feedArrival() error {
-	if s.nextArr >= len(s.arrivals) {
+	if s.src == nil {
 		return nil
 	}
-	j := s.arrivals[s.nextArr]
-	s.nextArr++
+	j, ok := s.nextJob()
+	if !ok {
+		err := s.src.Err()
+		s.src, s.srcPtr = nil, nil
+		if err != nil {
+			return fmt.Errorf("sched: workload stream failed after %d jobs: %w", s.fedJobs, err)
+		}
+		return nil
+	}
+	if !s.srcTrusted {
+		if err := j.Validate(); err != nil {
+			return fmt.Errorf("sched: %w", err)
+		}
+		if j.Procs > s.cfg.CPUs {
+			return fmt.Errorf("sched: job %d needs %d > %d processors", j.ID, j.Procs, s.cfg.CPUs)
+		}
+		if !s.cfg.Compat.UpfrontArrivals {
+			// Streamed feeding relies on nondecreasing submits: the next
+			// arrival is scheduled while the engine sits at the previous
+			// one.
+			if s.fedJobs > 0 && j.Submit < s.lastSubmit {
+				return fmt.Errorf("sched: workload stream not sorted by submit time (job %d at %v after %v)",
+					j.ID, j.Submit, s.lastSubmit)
+			}
+			s.lastSubmit = j.Submit
+		}
+	}
+	s.fedJobs++
 	if _, err := s.engine.Schedule(j.Submit, sim.EvArrival, j); err != nil {
 		return fmt.Errorf("sched: scheduling arrival of job %d: %w", j.ID, err)
 	}
@@ -354,10 +448,13 @@ func (s *System) dispatch(ev sim.Event) {
 	switch ev.Kind {
 	case sim.EvArrival:
 		s.queue = append(s.queue, ev.Payload.(*workload.Job))
-		// Replenish the event heap with the next trace arrival before the
-		// pass runs; its submit is >= now, so scheduling cannot fail.
+		// Replenish the event heap with the next stream arrival before
+		// the pass runs; a validation or source failure aborts the run
+		// (SimulateSource surfaces the error after the engine stops).
 		if err := s.feedArrival(); err != nil {
-			panic(err)
+			s.srcErr = err
+			s.engine.Stop()
+			return
 		}
 		s.pass(now)
 	case sim.EvEnd:

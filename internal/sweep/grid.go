@@ -264,11 +264,20 @@ func (g Grid) Points() []Point {
 	return pts
 }
 
-// Resolver materializes Points into runner.Specs: it owns trace loading
-// and the gear/power model shared by every cell of a sweep.
+// Resolver materializes Points into runner.Specs: it owns workload
+// loading and the gear/power model shared by every cell of a sweep.
 type Resolver struct {
-	// Trace loads a workload by name. Required.
+	// Trace loads a workload by name. Required unless Source is set.
 	Trace func(name string) (*workload.Trace, error)
+	// Source, when set, takes precedence over Trace and loads the
+	// workload as a streaming source instead. It is invoked once per grid
+	// cell and must return an INDEPENDENT source each call: concurrent
+	// pool workers each own their cell's cursor, so runs never share
+	// mutable workload state (where Trace-based sweeps hand every worker
+	// the same materialized slice). With a generating source
+	// (wgen.Stream) workers regenerate on the fly and a sweep's memory
+	// stays O(workers · running jobs) instead of O(trace).
+	Source func(name string) (workload.JobSource, error)
 	// Gears is the DVFS gear set (nil → paper gear set).
 	Gears dvfs.GearSet
 	// Beta is the β of the execution time model (0 → runner.DefaultBeta).
@@ -293,12 +302,23 @@ func (r *Resolver) beta() float64 {
 	return runner.DefaultBeta
 }
 
-// Spec resolves one grid point into a runnable spec.
+// Spec resolves one grid point into a runnable spec. With a Source
+// loader every call builds a fresh, independent source, so the returned
+// specs can execute concurrently.
 func (r *Resolver) Spec(p Point) (runner.Spec, error) {
-	if r.Trace == nil {
+	var (
+		tr  *workload.Trace
+		src workload.JobSource
+		err error
+	)
+	switch {
+	case r.Source != nil:
+		src, err = r.Source(p.Trace)
+	case r.Trace != nil:
+		tr, err = r.Trace(p.Trace)
+	default:
 		return runner.Spec{}, fmt.Errorf("sweep: resolver has no trace loader")
 	}
-	tr, err := r.Trace(p.Trace)
 	if err != nil {
 		return runner.Spec{}, fmt.Errorf("sweep: trace %q: %w", p.Trace, err)
 	}
@@ -316,6 +336,7 @@ func (r *Resolver) Spec(p Point) (runner.Spec, error) {
 	}
 	spec := runner.Spec{
 		Trace:         tr,
+		Source:        src,
 		SizeFactor:    p.SizeFactor,
 		CPUs:          p.CPUs,
 		Variant:       variant,

@@ -114,8 +114,46 @@ func (m Model) Validate() error {
 	return nil
 }
 
+// newUserDraw builds the Zipf user sampler, or nil when Users is 0. It
+// must be constructed at the same RNG stream position in every replay
+// (Stream's passes and Generate share this helper for that reason).
+func (m Model) newUserDraw(rng *stats.RNG) func() int {
+	if m.Users <= 0 {
+		return nil
+	}
+	skew := m.UserSkew
+	if skew == 0 {
+		skew = 1.5
+	}
+	return rng.Zipf(skew, m.Users)
+}
+
+// drawJob samples one job's attributes (everything but the submit time)
+// in the canonical draw order. Generate and the streaming Source both go
+// through it, so a replay of the same seeded RNG yields bit-identical
+// jobs. It returns by value: the streaming source's summing passes
+// discard millions of draws and must not allocate per job.
+func (m Model) drawJob(rng *stats.RNG, drawUser func() int, id int) workload.Job {
+	procs := m.drawProcs(rng)
+	rt := m.drawRuntime(rng)
+	req := m.drawRequest(rng, rt)
+	j := workload.Job{
+		ID: id, Procs: procs, Runtime: rt, ReqTime: req, Beta: -1, User: -1,
+		Status: workload.StatusCompleted,
+	}
+	if drawUser != nil {
+		j.User = drawUser()
+	}
+	if m.BetaMax > 0 {
+		j.Beta = rng.Uniform(m.BetaMin, m.BetaMax)
+	}
+	return j
+}
+
 // Generate builds the trace. The same model (including seed) always
-// produces the identical trace.
+// produces the identical trace — and the identical job stream as
+// Stream(m), which generates lazily instead (TestStreamMatchesGenerate
+// pins the equivalence).
 func Generate(m Model) (*workload.Trace, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -125,31 +163,12 @@ func Generate(m Model) (*workload.Trace, error) {
 	tr := &workload.Trace{Name: m.Name, CPUs: m.CPUs}
 
 	// First pass: draw sizes, runtimes and estimates; accumulate demand.
-	var drawUser func() int
-	if m.Users > 0 {
-		skew := m.UserSkew
-		if skew == 0 {
-			skew = 1.5
-		}
-		drawUser = rng.Zipf(skew, m.Users)
-	}
+	drawUser := m.newUserDraw(rng)
 	demand := 0.0 // CPU·seconds
 	for i := 0; i < m.Jobs; i++ {
-		procs := m.drawProcs(rng)
-		rt := m.drawRuntime(rng)
-		req := m.drawRequest(rng, rt)
-		j := &workload.Job{
-			ID: i + 1, Procs: procs, Runtime: rt, ReqTime: req, Beta: -1, User: -1,
-			Status: workload.StatusCompleted,
-		}
-		if drawUser != nil {
-			j.User = drawUser()
-		}
-		if m.BetaMax > 0 {
-			j.Beta = rng.Uniform(m.BetaMin, m.BetaMax)
-		}
-		tr.Jobs = append(tr.Jobs, j)
-		demand += float64(procs) * rt
+		j := m.drawJob(rng, drawUser, i+1)
+		tr.Jobs = append(tr.Jobs, &j)
+		demand += float64(j.Procs) * j.Runtime
 	}
 
 	// Second pass: spread arrivals over a span that realizes the target

@@ -1,0 +1,50 @@
+package wgen
+
+import (
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// The CLI tools (bsldsim, sweep, ...) all resolve a workload name the
+// same way: names ending in .swf load as SWF trace files, anything else
+// is a built-in preset. ResolveTrace and ResolveSource are that shared
+// resolution for the materialized and the streaming pipeline
+// respectively, so the tools cannot drift apart on filter or override
+// semantics.
+
+// ResolveTrace materializes the named workload. cpus supplies the system
+// size for SWF logs without a MaxProcs header (0 requires the header);
+// jobs overrides a preset's trace length (0 keeps the model's native
+// length); the filter applies to SWF logs only.
+func ResolveTrace(name string, cpus, jobs int, filter workload.SWFFilter) (*workload.Trace, error) {
+	if strings.HasSuffix(name, ".swf") {
+		return workload.ParseSWFFile(name, cpus, filter)
+	}
+	m, err := Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	if jobs > 0 {
+		m.Jobs = jobs
+	}
+	return Generate(m)
+}
+
+// ResolveSource streams the named workload: presets generate lazily
+// (Stream), SWF logs are read incrementally (workload.OpenSWFSource).
+// Parameters are those of ResolveTrace. Every call returns an
+// independent source, so concurrent runs never share a cursor.
+func ResolveSource(name string, cpus, jobs int, filter workload.SWFFilter) (workload.JobSource, error) {
+	if strings.HasSuffix(name, ".swf") {
+		return workload.OpenSWFSource(name, cpus, filter)
+	}
+	m, err := Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	if jobs > 0 {
+		m.Jobs = jobs
+	}
+	return Stream(m)
+}

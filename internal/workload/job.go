@@ -2,6 +2,15 @@
 // the simulator and implements reading and writing of the Standard
 // Workload Format (SWF) used by the Parallel Workload Archive, the source
 // of the five traces evaluated in the paper.
+//
+// Workloads flow through the package in two forms: the materialized Trace
+// (a job slice, convenient for analyses that need the whole workload) and
+// the streaming JobSource (one job at a time in submit order, the form
+// the scheduler consumes — a replay then holds O(running jobs) live
+// memory regardless of trace length). SliceSource adapts the former to
+// the latter; Collect goes the other way; SWFSource reads logs
+// incrementally; and the combinators (Filter, Concat, Repeat,
+// MergeByArrival, Scale) compose sources without materializing them.
 package workload
 
 import (

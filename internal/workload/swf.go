@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
@@ -56,71 +57,36 @@ func ParseSWF(r io.Reader, name string, cpus int) (*Trace, error) {
 	return ParseSWFFiltered(r, name, cpus, SWFFilter{})
 }
 
+// ParseSWFFile materializes the SWF log at path — the file-path
+// counterpart of ParseSWFFiltered, and of OpenSWFSource for callers that
+// need the whole trace.
+func ParseSWFFile(path string, cpus int, filter SWFFilter) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseSWFFiltered(f, path, cpus, filter)
+}
+
 // ParseSWFFiltered reads a trace in Standard Workload Format, dropping
 // jobs the status filter excludes.
 func ParseSWFFiltered(r io.Reader, name string, cpus int, filter SWFFilter) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	tr := &Trace{Name: name, CPUs: cpus}
-	lineNo := 0
+	p := swfParser{cpus: cpus, filter: filter}
 	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		job, ok, err := p.parseLine(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		tr.CPUs = p.cpus
+		if !ok {
 			continue
 		}
-		if strings.HasPrefix(line, ";") {
-			if v, ok := swfHeaderInt(line, "MaxProcs"); ok {
-				tr.CPUs = v
-			}
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 9 {
-			return nil, fmt.Errorf("workload: swf line %d has %d fields, want >= 9", lineNo, len(fields))
-		}
-		vals := make([]float64, len(fields))
-		for i, f := range fields {
-			v, err := strconv.ParseFloat(f, 64)
-			if err != nil {
-				return nil, fmt.Errorf("workload: swf line %d field %d: %v", lineNo, i+1, err)
-			}
-			vals[i] = v
-		}
-		job := &Job{
-			ID:      int(vals[0]),
-			Submit:  vals[1],
-			Runtime: vals[3],
-			Beta:    -1,
-			User:    -1,
-			Status:  StatusUnknown,
-		}
-		if len(vals) >= 11 {
-			job.Status = statusFromSWF(int(vals[10])) // field 11
-		}
-		if len(vals) >= 12 && vals[11] >= 0 {
-			job.User = int(vals[11]) // field 12: user ID
-		}
-		if !filter.keep(job.Status) {
-			continue
-		}
-		// Processors: prefer the requested count (field 8) when valid,
-		// else the allocated count (field 5), following PWA conventions.
-		procs := int(vals[7])
-		if procs <= 0 {
-			procs = int(vals[4])
-		}
-		job.Procs = procs
-		// Requested time: field 9; fall back to the actual runtime when
-		// the estimate is missing.
-		job.ReqTime = vals[8]
-		if job.ReqTime <= 0 {
-			job.ReqTime = job.Runtime
-		}
-		if job.Procs <= 0 || job.Runtime <= 0 || job.ReqTime <= 0 || job.Submit < 0 {
-			continue // cleaned out, like flurry removal in PWA cleaned logs
-		}
-		tr.Jobs = append(tr.Jobs, job)
+		cp := job
+		tr.Jobs = append(tr.Jobs, &cp)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("workload: reading swf: %w", err)
@@ -130,6 +96,79 @@ func ParseSWFFiltered(r io.Reader, name string, cpus int, filter SWFFilter) (*Tr
 	}
 	tr.SortBySubmit()
 	return tr, nil
+}
+
+// swfParser holds the line-by-line SWF decoding state shared by the
+// materializing ParseSWF and the incremental SWFSource, so both readers
+// accept and clean exactly the same inputs (the property FuzzSWFSource
+// checks).
+type swfParser struct {
+	cpus   int
+	filter SWFFilter
+	lineNo int
+}
+
+// parseLine decodes one SWF line. ok=false with a nil error means the
+// line carried no job (blank, comment/header, filtered or cleaned out);
+// MaxProcs headers update p.cpus as a side effect.
+func (p *swfParser) parseLine(raw string) (Job, bool, error) {
+	p.lineNo++
+	line := strings.TrimSpace(raw)
+	if line == "" {
+		return Job{}, false, nil
+	}
+	if strings.HasPrefix(line, ";") {
+		if v, ok := swfHeaderInt(line, "MaxProcs"); ok {
+			p.cpus = v
+		}
+		return Job{}, false, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 9 {
+		return Job{}, false, fmt.Errorf("workload: swf line %d has %d fields, want >= 9", p.lineNo, len(fields))
+	}
+	vals := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return Job{}, false, fmt.Errorf("workload: swf line %d field %d: %v", p.lineNo, i+1, err)
+		}
+		vals[i] = v
+	}
+	job := Job{
+		ID:      int(vals[0]),
+		Submit:  vals[1],
+		Runtime: vals[3],
+		Beta:    -1,
+		User:    -1,
+		Status:  StatusUnknown,
+	}
+	if len(vals) >= 11 {
+		job.Status = statusFromSWF(int(vals[10])) // field 11
+	}
+	if len(vals) >= 12 && vals[11] >= 0 {
+		job.User = int(vals[11]) // field 12: user ID
+	}
+	if !p.filter.keep(job.Status) {
+		return Job{}, false, nil
+	}
+	// Processors: prefer the requested count (field 8) when valid,
+	// else the allocated count (field 5), following PWA conventions.
+	procs := int(vals[7])
+	if procs <= 0 {
+		procs = int(vals[4])
+	}
+	job.Procs = procs
+	// Requested time: field 9; fall back to the actual runtime when
+	// the estimate is missing.
+	job.ReqTime = vals[8]
+	if job.ReqTime <= 0 {
+		job.ReqTime = job.Runtime
+	}
+	if job.Procs <= 0 || job.Runtime <= 0 || job.ReqTime <= 0 || job.Submit < 0 {
+		return Job{}, false, nil // cleaned out, like flurry removal in PWA cleaned logs
+	}
+	return job, true, nil
 }
 
 // statusFromSWF maps SWF field 11 onto the internal Status encoding.
@@ -184,17 +223,60 @@ func swfHeaderInt(line, key string) (int, bool) {
 // round-trip through a write/parse cycle.
 func WriteSWF(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "; SWF trace %s\n", t.Name)
-	fmt.Fprintf(bw, "; MaxProcs: %d\n", t.CPUs)
-	fmt.Fprintf(bw, "; MaxJobs: %d\n", len(t.Jobs))
+	writeSWFHeader(bw, t.Name, t.CPUs, len(t.Jobs))
 	for _, j := range t.Jobs {
-		// job submit wait run procs avgcpu mem reqprocs reqtime reqmem
-		// status uid gid exe queue partition prevjob thinktime
-		if _, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 %d %d -1 -1 -1 -1 -1 -1\n",
-			j.ID, int64(j.Submit), int64(j.Runtime+0.5), j.Procs, j.Procs,
-			int64(j.ReqTime+0.5), statusToSWF(j.Status), j.User); err != nil {
+		if err := writeSWFJob(bw, j); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// WriteSWFStream writes a source in Standard Workload Format as jobs are
+// produced, returning the number of jobs written: generating and exporting
+// a ten-million-job workload stays flat in memory. When the source knows
+// its length (Counted) the output is byte-identical to WriteSWF of the
+// materialized trace; otherwise the MaxJobs header is omitted.
+func WriteSWFStream(w io.Writer, src JobSource) (int, error) {
+	bw := bufio.NewWriter(w)
+	jobs := -1
+	if c, ok := src.(Counted); ok {
+		jobs = c.Len()
+	}
+	writeSWFHeader(bw, src.Name(), src.CPUs(), jobs)
+	n := 0
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := writeSWFJob(bw, &j); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if err := src.Err(); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// writeSWFHeader emits the comment header; jobs < 0 omits the MaxJobs line
+// (unknown-length streams).
+func writeSWFHeader(bw *bufio.Writer, name string, cpus, jobs int) {
+	fmt.Fprintf(bw, "; SWF trace %s\n", name)
+	fmt.Fprintf(bw, "; MaxProcs: %d\n", cpus)
+	if jobs >= 0 {
+		fmt.Fprintf(bw, "; MaxJobs: %d\n", jobs)
+	}
+}
+
+// writeSWFJob emits one job line.
+func writeSWFJob(bw *bufio.Writer, j *Job) error {
+	// job submit wait run procs avgcpu mem reqprocs reqtime reqmem
+	// status uid gid exe queue partition prevjob thinktime
+	_, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 %d %d -1 -1 -1 -1 -1 -1\n",
+		j.ID, int64(j.Submit), int64(j.Runtime+0.5), j.Procs, j.Procs,
+		int64(j.ReqTime+0.5), statusToSWF(j.Status), j.User)
+	return err
 }

@@ -2,6 +2,8 @@ package workload
 
 import (
 	"bytes"
+	"io"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -49,6 +51,71 @@ func FuzzParseSWF(f *testing.F) {
 		}
 		if len(back.Jobs) > len(tr.Jobs) {
 			t.Fatalf("round trip grew jobs: %d -> %d", len(tr.Jobs), len(back.Jobs))
+		}
+	})
+}
+
+// FuzzSWFSource differentially tests the incremental SWF reader against
+// the materializing parser: on any input, either both fail, or the
+// stream fails only because the log is unsorted (the one case streaming
+// legitimately rejects), or both succeed with the same job multiset —
+// and the streamed sequence is itself in nondecreasing submit order.
+func FuzzSWFSource(f *testing.F) {
+	f.Add(sampleSWF, 64, false)
+	f.Add("; MaxProcs: 8\n1 0 -1 10 2 -1 -1 2 20 -1 1 5 -1 -1 -1 -1 -1 -1\n", 0, true)
+	f.Add("1 9 -1 10 1 -1 -1 1 20 -1 1 -1 -1 -1 -1 -1 -1 -1\n2 3 -1 10 1 -1 -1 1 20 -1 0 -1 -1 -1 -1 -1 -1 -1\n", 4, false)
+	f.Add("; MaxProcs: 2\n\n; noise\nbroken line\n", 0, false)
+	f.Fuzz(func(t *testing.T, input string, cpus int, dropFailed bool) {
+		filter := SWFFilter{DropFailed: dropFailed}
+		want, pErr := ParseSWFFiltered(strings.NewReader(input), "fuzz", cpus, filter)
+
+		open := func() (io.ReadCloser, error) { return io.NopCloser(strings.NewReader(input)), nil }
+		src, sErr := NewSWFSource(open, "fuzz", cpus, filter)
+		var got []Job
+		if sErr == nil {
+			for {
+				j, ok := src.Next()
+				if !ok {
+					break
+				}
+				got = append(got, j)
+			}
+			sErr = src.Err()
+		}
+
+		if pErr != nil {
+			if sErr == nil {
+				t.Fatalf("parser rejected (%v) but stream accepted %d jobs", pErr, len(got))
+			}
+			return
+		}
+		if sErr != nil {
+			// The only stream-specific rejection is disorder.
+			if !strings.Contains(sErr.Error(), "not sorted") {
+				t.Fatalf("stream failed (%v) where the parser succeeded", sErr)
+			}
+			return
+		}
+		if len(got) != len(want.Jobs) {
+			t.Fatalf("streamed %d jobs, parser %d", len(got), len(want.Jobs))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Submit < got[i-1].Submit {
+				t.Fatal("streamed jobs not in submit order")
+			}
+		}
+		// The parser tie-breaks equal submits by ID where the stream keeps
+		// file order; compare under the parser's canonical order.
+		sort.SliceStable(got, func(a, b int) bool {
+			if got[a].Submit != got[b].Submit {
+				return got[a].Submit < got[b].Submit
+			}
+			return got[a].ID < got[b].ID
+		})
+		for i := range got {
+			if got[i] != *want.Jobs[i] {
+				t.Fatalf("job %d: streamed %+v, parsed %+v", i, got[i], *want.Jobs[i])
+			}
 		}
 	})
 }

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SWFSource reads a Standard Workload Format log incrementally: one
+// buffered line at a time, never materializing the trace. It accepts and
+// cleans exactly the lines ParseSWF does (the decoding is shared), with
+// two streaming-specific differences:
+//
+//   - The log must already be in nondecreasing submit order (as WriteSWF
+//     output and virtually every archive log is); a regression makes the
+//     stream fail with an error instead of sorting. Jobs submitted at the
+//     same instant keep file order, where ParseSWF tie-breaks by ID.
+//   - MaxProcs headers are honoured only up to the first job line (their
+//     conventional position); the system size is fixed when the source is
+//     opened.
+type SWFSource struct {
+	open   func() (io.ReadCloser, error)
+	name   string
+	cpus   int // resolved system size
+	arg    int // caller-supplied size (Reset re-resolves from it)
+	filter SWFFilter
+
+	rc      io.ReadCloser
+	sc      *bufio.Scanner
+	p       swfParser
+	pending Job
+	primed  bool // pending holds the first job
+	started bool // at least one job emitted
+	last    float64
+	err     error
+}
+
+var _ JobSource = (*SWFSource)(nil)
+
+// NewSWFSource returns a streaming reader over the log the open callback
+// provides; Reset re-invokes it, so the same source can back repeated
+// simulation runs. The system size is taken from a MaxProcs header ahead
+// of the first job when present, otherwise cpus must be positive.
+func NewSWFSource(open func() (io.ReadCloser, error), name string, cpus int, filter SWFFilter) (*SWFSource, error) {
+	s := &SWFSource{open: open, name: name, arg: cpus, filter: filter}
+	if err := s.Reset(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenSWFSource streams the SWF file at path; Reset reopens it.
+func OpenSWFSource(path string, cpus int, filter SWFFilter) (*SWFSource, error) {
+	return NewSWFSource(func() (io.ReadCloser, error) { return os.Open(path) }, path, cpus, filter)
+}
+
+// Name implements JobSource.
+func (s *SWFSource) Name() string { return s.name }
+
+// CPUs implements JobSource.
+func (s *SWFSource) CPUs() int { return s.cpus }
+
+// Err implements JobSource.
+func (s *SWFSource) Err() error { return s.err }
+
+// Close releases the underlying reader; Next reports end of stream
+// afterwards. Reset reopens.
+func (s *SWFSource) Close() error {
+	s.sc = nil
+	if s.rc == nil {
+		return nil
+	}
+	rc := s.rc
+	s.rc = nil
+	return rc.Close()
+}
+
+// Reset implements JobSource: it reopens the log and re-resolves the
+// system size.
+func (s *SWFSource) Reset() error {
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("workload: closing swf stream %q: %w", s.name, err)
+	}
+	rc, err := s.open()
+	if err != nil {
+		return fmt.Errorf("workload: opening swf stream %q: %w", s.name, err)
+	}
+	s.rc = rc
+	s.sc = bufio.NewScanner(rc)
+	s.sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	s.p = swfParser{cpus: s.arg, filter: s.filter}
+	s.primed, s.started, s.last, s.err = false, false, 0, nil
+	// Scan headers (and clean-skipped lines) up to the first job so the
+	// system size is known before iteration begins, like ParseSWF's
+	// post-parse check but upfront.
+	job, ok, err := s.scan()
+	if err != nil {
+		s.Close()
+		return err
+	}
+	s.cpus = s.p.cpus
+	if s.cpus <= 0 {
+		s.Close()
+		return fmt.Errorf("workload: swf trace %q has no MaxProcs header and no explicit system size", s.name)
+	}
+	if ok {
+		s.pending, s.primed = job, true
+	}
+	return nil
+}
+
+// scan advances the underlying scanner to the next surviving job.
+func (s *SWFSource) scan() (Job, bool, error) {
+	if s.sc == nil {
+		return Job{}, false, nil
+	}
+	for s.sc.Scan() {
+		job, ok, err := s.p.parseLine(s.sc.Text())
+		if err != nil {
+			return Job{}, false, err
+		}
+		if ok {
+			return job, true, nil
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		return Job{}, false, fmt.Errorf("workload: reading swf: %w", err)
+	}
+	return Job{}, false, nil
+}
+
+// Next implements JobSource.
+func (s *SWFSource) Next() (Job, bool) {
+	if s.err != nil {
+		return Job{}, false
+	}
+	var job Job
+	if s.primed {
+		job, s.primed = s.pending, false
+	} else {
+		var ok bool
+		var err error
+		job, ok, err = s.scan()
+		if err != nil {
+			s.err = err
+			s.Close()
+			return Job{}, false
+		}
+		if !ok {
+			s.Close()
+			return Job{}, false
+		}
+	}
+	if s.started && job.Submit < s.last {
+		s.err = fmt.Errorf("workload: swf trace %q is not sorted by submit time (job %d at %v after %v); materialize it with ParseSWF",
+			s.name, job.ID, job.Submit, s.last)
+		s.Close()
+		return Job{}, false
+	}
+	s.started, s.last = true, job.Submit
+	return job, true
+}
