@@ -443,15 +443,18 @@ func BenchmarkHotPathSeedVsOptimized(b *testing.B) {
 
 // BenchmarkConservativeMillionPreset replays Million-preset trace
 // segments under conservative backfilling, the variant that replans every
-// queued job against the availability profile each pass. It quantifies
-// the profile overhaul: the seed path insertion-sorts two deltas per
+// queued job against the availability profile each pass. Three modes span
+// the profile's history: the seed path insertion-sorts two deltas per
 // occupancy entry into a flat list — O(n) memmoves per entry, O(n²) per
 // replanning pass over n running jobs — and re-sorts the release list
-// from scratch every pass, while the optimized path bulk-loads the
-// incrementally maintained (PlannedEnd, id)-sorted release schedule in
-// one pass and appends reservations through the profile's deferred-merge
-// pending tier. Results are recorded in BENCH_sched.json; the schedules
-// are byte-identical across modes (internal/sched determinism tests).
+// from scratch every pass; the rebuild path (PR 3/4, Compat.RebuildProfile)
+// bulk-loads the incrementally maintained (PlannedEnd, id)-sorted release
+// schedule every pass, still O(running + queued) per pass; the optimized
+// path persists the profile across passes — O(1) base updates per event,
+// retained reservations under the changed-prefix analysis, and the
+// skyline-tree EarliestStart. Results are recorded in BENCH_sched.json;
+// the schedules are byte-identical across modes (internal/sched
+// determinism tests).
 func BenchmarkConservativeMillionPreset(b *testing.B) {
 	for _, jobs := range []int{10_000, 40_000} {
 		for _, mode := range []struct {
@@ -459,6 +462,7 @@ func BenchmarkConservativeMillionPreset(b *testing.B) {
 			compat sched.Compat
 		}{
 			{"seed", sched.SeedCompat()},
+			{"rebuild", sched.Compat{RebuildProfile: true}},
 			{"optimized", sched.Compat{}},
 		} {
 			b.Run(fmt.Sprintf("jobs=%d/%s", jobs, mode.name), func(b *testing.B) {

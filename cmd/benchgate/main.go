@@ -19,9 +19,17 @@
 // back into the streaming path shows up as a ~5x jump, far beyond the
 // regression allowance.
 //
+// Gate 3 — replanning: the conservative-backfilling Million-preset
+// seed-vs-optimized speedup ratio (BenchmarkConservativeMillionPreset).
+// Conservative replans every queued job against the availability profile
+// each pass, so this ratio holds the incremental-replanning win — the
+// persistent profile, the changed-prefix reservation reuse and the
+// skyline-tree EarliestStart — the same way gate 1 holds the hot-path
+// win: as a same-host ratio that cancels runner hardware out.
+//
 // Usage:
 //
-//	go test -run '^$' -bench 'HotPathSeedVsOptimized|StreamingMillionHeap' -benchtime 1x . | tee bench.out
+//	go test -run '^$' -bench 'HotPathSeedVsOptimized|StreamingMillionHeap|ConservativeMillionPreset' -benchtime 1x . | tee bench.out
 //	go run ./cmd/benchgate -bench bench.out
 package main
 
@@ -51,36 +59,21 @@ type benchFile struct {
 
 func main() {
 	var (
-		benchPath  = flag.String("bench", "bench.out", "go test -bench output to scan")
-		basePath   = flag.String("baseline", "BENCH_sched.json", "committed performance trajectory")
-		benchmark  = flag.String("benchmark", "BenchmarkHotPathSeedVsOptimized", "throughput benchmark to gate on")
-		jobs       = flag.Int("jobs", 1_000_000, "Million-preset job count of the gated sub-runs")
-		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed fractional drop of the optimized/seed speedup")
-		heapBench  = flag.String("heap-benchmark", "BenchmarkStreamingMillionHeap", "streaming peak-heap benchmark to gate on (empty disables the heap gate)")
-		heapGrowth = flag.Float64("heap-max-growth", 0.20, "maximum allowed fractional growth of the streamed peak heap")
+		benchPath   = flag.String("bench", "bench.out", "go test -bench output to scan")
+		basePath    = flag.String("baseline", "BENCH_sched.json", "committed performance trajectory")
+		benchmark   = flag.String("benchmark", "BenchmarkHotPathSeedVsOptimized", "throughput benchmark to gate on (empty disables the throughput gate)")
+		jobs        = flag.Int("jobs", 1_000_000, "Million-preset job count of the gated sub-runs")
+		maxRegress  = flag.Float64("max-regress", 0.20, "maximum allowed fractional drop of the optimized/seed speedup")
+		heapBench   = flag.String("heap-benchmark", "BenchmarkStreamingMillionHeap", "streaming peak-heap benchmark to gate on (empty disables the heap gate)")
+		heapGrowth  = flag.Float64("heap-max-growth", 0.20, "maximum allowed fractional growth of the streamed peak heap")
+		consBench   = flag.String("cons-benchmark", "BenchmarkConservativeMillionPreset", "replanning benchmark to gate on (empty disables the replanning gate)")
+		consJobs    = flag.Int("cons-jobs", 40_000, "Million-preset job count of the gated replanning sub-runs")
+		consRegress = flag.Float64("cons-max-regress", 0.20, "maximum allowed fractional drop of the replanning optimized/seed speedup")
 	)
 	flag.Parse()
 
-	baseRatio, err := baselineRatio(*basePath, *benchmark, *jobs)
-	if err != nil {
-		fatal(err)
-	}
-	prefix := fmt.Sprintf("%s/jobs=%d/", *benchmark, *jobs)
-	seed, err := measuredMetric(*benchPath, prefix+"seed", "jobs/s")
-	if err != nil {
-		fatal(err)
-	}
-	opt, err := measuredMetric(*benchPath, prefix+"optimized", "jobs/s")
-	if err != nil {
-		fatal(err)
-	}
-	ratio := opt / seed
-	floor := baseRatio * (1 - *maxRegress)
-	fmt.Printf("benchgate: optimized/seed speedup %.2fx (optimized %.0f, seed %.0f jobs/s); baseline %.2fx, floor %.2fx\n",
-		ratio, opt, seed, baseRatio, floor)
-	if ratio < floor {
-		fatal(fmt.Errorf("speedup regressed %.1f%% (> %.0f%% allowed): %.2fx < %.2fx",
-			100*(1-ratio/baseRatio), 100**maxRegress, ratio, floor))
+	if *benchmark != "" {
+		gateRatio("hot-path", *benchPath, *basePath, *benchmark, *jobs, *maxRegress)
 	}
 
 	if *heapBench != "" {
@@ -101,7 +94,40 @@ func main() {
 				100*(heap/baseHeap-1), 100**heapGrowth, heap, ceiling))
 		}
 	}
+
+	if *consBench != "" {
+		gateRatio("replanning", *benchPath, *basePath, *consBench, *consJobs, *consRegress)
+	}
 	fmt.Println("benchgate: ok")
+}
+
+// gateRatio holds one optimized/seed speedup ratio against the newest
+// committed baseline of the given benchmark, failing the build when it
+// drops beyond the allowed fraction. Both sub-runs come from the same
+// bench invocation on the same host, so the ratio cancels runner
+// hardware out.
+func gateRatio(label, benchPath, basePath, benchmark string, jobs int, maxRegress float64) {
+	base, err := baselineRatio(basePath, benchmark, jobs)
+	if err != nil {
+		fatal(err)
+	}
+	prefix := fmt.Sprintf("%s/jobs=%d/", benchmark, jobs)
+	seed, err := measuredMetric(benchPath, prefix+"seed", "jobs/s")
+	if err != nil {
+		fatal(err)
+	}
+	opt, err := measuredMetric(benchPath, prefix+"optimized", "jobs/s")
+	if err != nil {
+		fatal(err)
+	}
+	ratio := opt / seed
+	floor := base * (1 - maxRegress)
+	fmt.Printf("benchgate: %s optimized/seed speedup %.2fx (optimized %.0f, seed %.0f jobs/s); baseline %.2fx, floor %.2fx\n",
+		label, ratio, opt, seed, base, floor)
+	if ratio < floor {
+		fatal(fmt.Errorf("%s speedup regressed %.1f%% (> %.0f%% allowed): %.2fx < %.2fx",
+			label, 100*(1-ratio/base), 100*maxRegress, ratio, floor))
+	}
 }
 
 func fatal(err error) {

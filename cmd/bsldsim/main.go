@@ -268,15 +268,24 @@ func report(name string, out, base runner.Outcome, v sched.Variant,
 				fmt.Printf("  %-14s %5d jobs  energy %.4g\n", g, a.n, a.energy)
 			}
 		}
-		wp := out.Collector.WaitPercentiles()
-		bp := out.Collector.BSLDPercentiles()
+		wp, err := out.Collector.WaitPercentiles()
+		if err != nil {
+			return err
+		}
+		bp, err := out.Collector.BSLDPercentiles()
+		if err != nil {
+			return err
+		}
 		fmt.Printf("wait percentiles (s): p50 %.0f  p90 %.0f  p95 %.0f  p99 %.0f  max %.0f\n",
 			wp.P50, wp.P90, wp.P95, wp.P99, wp.Max)
 		fmt.Printf("BSLD percentiles:     p50 %.2f  p90 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
 			bp.P50, bp.P90, bp.P95, bp.P99, bp.Max)
 		fmt.Printf("energy-delay product: %.4g\n", r.EnergyDelayProduct())
 		fmt.Println("per job class:")
-		bd := out.Collector.Breakdown(out.CPUs)
+		bd, err := out.Collector.Breakdown(out.CPUs)
+		if err != nil {
+			return err
+		}
 		for _, cl := range metrics.Classes() {
 			st, ok := bd[cl]
 			if !ok {

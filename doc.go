@@ -62,6 +62,22 @@
 //     and bulk-loads the scheduler's incrementally maintained release
 //     skyline in one pass — conservative backfilling's replanning is no
 //     longer quadratic in profile size.
+//   - Persistent replanning profile: the conservative/flexible variants
+//     no longer rebuild the profile each pass. The base skyline persists
+//     across passes (job starts, completions and gear switches apply
+//     O(1) occupancy/credit deltas; expired and cancelling pairs fold
+//     away during merges), reservations placed in earlier passes are
+//     retained and reused verbatim up to the first queue position whose
+//     replan could differ (the changed-prefix invariant: an untouched
+//     base, the same job at the same position, planning inputs still in
+//     the future, and the gear policy re-confirming its choice), and
+//     EarliestStart descends a max/min-augmented skyline tree over the
+//     main tier in O(log n). A pass pays one gear-policy re-ask per
+//     retained reservation plus full replanning of the changed suffix —
+//     no O(running) profile rebuild and no profile queries for the
+//     reused prefix; conservative backfilling on the Million preset runs
+//     7.4x faster than the rebuild-per-pass path it replaces
+//     (BENCH_sched.json, 40k jobs).
 //
 // The seed-era implementations remain available behind sched.Compat /
 // sched.SeedCompat() purely as a benchmark reference; determinism

@@ -72,7 +72,10 @@ func main() {
 		if i == 0 {
 			base = out.Results.CompEnergy
 		}
-		wp := out.Collector.WaitPercentiles()
+		wp, err := out.Collector.WaitPercentiles()
+		if err != nil {
+			log.Fatal(err)
+		}
 		table.AddRow(sc.label,
 			fmt.Sprintf("%.2f", out.Results.AvgBSLD),
 			fmt.Sprintf("%.0f", out.Results.AvgWait),

@@ -55,6 +55,12 @@ func (p *UtilizationDriven) Name() string {
 
 // target maps current utilization to a gear index.
 func (p *UtilizationDriven) target() int {
+	if p.sys == nil {
+		// Fail fast with a diagnosis instead of a bare nil dereference:
+		// the policy reads live cluster state, so it only works when
+		// sched.New had the chance to call Bind.
+		panic("altpolicy: UtilizationDriven used without a bound system: pass it as sched.Config.Policy (or runner.Spec.Policy) so sched.New invokes Bind before the run")
+	}
 	cl := p.sys.Cluster()
 	util := float64(cl.Busy()) / float64(cl.Total())
 	switch {

@@ -1,6 +1,7 @@
 package altpolicy
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/dvfs"
@@ -108,4 +109,27 @@ func TestUtilizationDrivenEndToEnd(t *testing.T) {
 	if out.Results.ReducedJobs == 0 {
 		t.Error("no jobs reduced")
 	}
+}
+
+// Regression: using the policy without Bind (anything that sidesteps the
+// sched.New binder hook, e.g. hand-rolled runner wiring) used to crash
+// with a bare nil dereference mid-run. It must fail fast with a message
+// that names the fix.
+func TestUtilizationDrivenWithoutBindFailsFast(t *testing.T) {
+	gears := dvfs.PaperGearSet()
+	pol, err := NewUtilizationDriven(gears, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("unbound policy did not fail")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "without a bound system") {
+			t.Fatalf("panic = %v, want the unbound-policy diagnosis", r)
+		}
+	}()
+	pol.ReserveGear(&workload.Job{ID: 1, Procs: 1, ReqTime: 10, Runtime: 5}, 0, 0, 0)
 }

@@ -1,10 +1,19 @@
 package metrics
 
 import (
+	"errors"
 	"sort"
 
 	"repro/internal/stats"
 )
+
+// ErrStreaming is returned by the per-job analyses (percentiles,
+// breakdowns, fairness) when the collector ran in streaming mode and
+// therefore retained no records. Callers that need these analyses must
+// build the collector with NewCollector (runner.Spec.KeepCollector).
+// Before this sentinel existed the analyses silently returned all-zero
+// results on streaming collectors.
+var ErrStreaming = errors.New("metrics: per-job analysis needs a retaining collector (runner.Spec.KeepCollector); this collector streams and keeps no records")
 
 // Percentiles of the wait and BSLD distributions; mean values hide the
 // tail pain that Figure 6 of the paper visualizes, so the analysis tools
@@ -28,22 +37,30 @@ func percentilesOf(xs []float64) Percentiles {
 	}
 }
 
-// WaitPercentiles returns the distribution of job wait times.
-func (c *Collector) WaitPercentiles() Percentiles {
+// WaitPercentiles returns the distribution of job wait times. It fails
+// with ErrStreaming when the collector retained no records.
+func (c *Collector) WaitPercentiles() (Percentiles, error) {
+	if !c.retain {
+		return Percentiles{}, ErrStreaming
+	}
 	xs := make([]float64, len(c.records))
 	for i, r := range c.records {
 		xs[i] = r.Wait
 	}
-	return percentilesOf(xs)
+	return percentilesOf(xs), nil
 }
 
-// BSLDPercentiles returns the distribution of job bounded slowdowns.
-func (c *Collector) BSLDPercentiles() Percentiles {
+// BSLDPercentiles returns the distribution of job bounded slowdowns. It
+// fails with ErrStreaming when the collector retained no records.
+func (c *Collector) BSLDPercentiles() (Percentiles, error) {
+	if !c.retain {
+		return Percentiles{}, ErrStreaming
+	}
 	xs := make([]float64, len(c.records))
 	for i, r := range c.records {
 		xs[i] = r.BSLD
 	}
-	return percentilesOf(xs)
+	return percentilesOf(xs), nil
 }
 
 // EnergyDelayProduct returns Σ energy × avg BSLD — the standard combined
@@ -116,8 +133,12 @@ func classify(rec *JobRecord, cpus int, shortTh float64) JobClass {
 // Breakdown aggregates the records per job class for a machine of the
 // given size. It explains *where* the energy savings come from: the
 // paper's workload narratives (Thunder's short jobs, Atlas's wide jobs)
-// become visible here.
-func (c *Collector) Breakdown(cpus int) map[JobClass]ClassStats {
+// become visible here. It fails with ErrStreaming when the collector
+// retained no records.
+func (c *Collector) Breakdown(cpus int) (map[JobClass]ClassStats, error) {
+	if !c.retain {
+		return nil, ErrStreaming
+	}
 	out := make(map[JobClass]ClassStats)
 	total := 0.0
 	for _, rec := range c.records {
@@ -148,5 +169,5 @@ func (c *Collector) Breakdown(cpus int) map[JobClass]ClassStats {
 		}
 		out[cl] = *s
 	}
-	return out
+	return out, nil
 }

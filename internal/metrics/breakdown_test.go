@@ -42,11 +42,17 @@ func TestPercentiles(t *testing.T) {
 		c.JobStarted(rs, float64(i))
 		c.JobFinished(rs, end)
 	}
-	p := c.WaitPercentiles()
+	p, err := c.WaitPercentiles()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.P50 != 50 || p.P90 != 90 || p.P95 != 95 || p.P99 != 99 || p.Max != 100 {
 		t.Errorf("percentiles = %+v", p)
 	}
-	b := c.BSLDPercentiles()
+	b, err := c.BSLDPercentiles()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b.P50 < 1 || b.Max < b.P50 {
 		t.Errorf("BSLD percentiles inconsistent: %+v", b)
 	}
@@ -54,8 +60,8 @@ func TestPercentiles(t *testing.T) {
 
 func TestPercentilesEmpty(t *testing.T) {
 	c := NewCollector(dvfs.PaperPowerModel(), 600)
-	if p := c.WaitPercentiles(); p.Max != 0 {
-		t.Errorf("empty percentiles = %+v", p)
+	if p, err := c.WaitPercentiles(); err != nil || p.Max != 0 {
+		t.Errorf("empty percentiles = %+v (err %v)", p, err)
 	}
 }
 
@@ -103,7 +109,10 @@ func TestBreakdown(t *testing.T) {
 		{4, 7200, 200, gears.Top()},  // long-narrow on 128
 		{64, 7200, 300, gears.Top()}, // long-wide on 128
 	})
-	bd := c.Breakdown(128)
+	bd, err := c.Breakdown(128)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if bd[ShortJobs].Jobs != 2 || bd[ShortJobs].Reduced != 1 {
 		t.Errorf("short = %+v", bd[ShortJobs])
 	}
@@ -139,5 +148,27 @@ func TestClassStrings(t *testing.T) {
 	}
 	if JobClass(99).String() != "unknown" {
 		t.Error("unknown class string")
+	}
+}
+
+// The per-job analyses must fail loudly on a streaming collector instead
+// of silently reporting all-zero results (the regression PR 3 introduced
+// when streaming became the runner default).
+func TestAnalysesRejectStreamingCollector(t *testing.T) {
+	c := NewStreamingCollector(dvfs.PaperPowerModel(), 600)
+	if _, err := c.WaitPercentiles(); err != ErrStreaming {
+		t.Errorf("WaitPercentiles err = %v, want ErrStreaming", err)
+	}
+	if _, err := c.BSLDPercentiles(); err != ErrStreaming {
+		t.Errorf("BSLDPercentiles err = %v, want ErrStreaming", err)
+	}
+	if _, err := c.Breakdown(128); err != ErrStreaming {
+		t.Errorf("Breakdown err = %v, want ErrStreaming", err)
+	}
+	if _, err := c.PerUser(); err != ErrStreaming {
+		t.Errorf("PerUser err = %v, want ErrStreaming", err)
+	}
+	if _, err := c.BSLDFairness(); err != ErrStreaming {
+		t.Errorf("BSLDFairness err = %v, want ErrStreaming", err)
 	}
 }

@@ -23,13 +23,17 @@ func JainIndex(xs []float64) float64 {
 	return sum * sum / (float64(len(xs)) * sumSq)
 }
 
-// BSLDFairness returns Jain's index over per-job bounded slowdowns.
-func (c *Collector) BSLDFairness() float64 {
+// BSLDFairness returns Jain's index over per-job bounded slowdowns. It
+// fails with ErrStreaming when the collector retained no records.
+func (c *Collector) BSLDFairness() (float64, error) {
+	if !c.retain {
+		return 0, ErrStreaming
+	}
 	xs := make([]float64, len(c.records))
 	for i, r := range c.records {
 		xs[i] = r.BSLD
 	}
-	return JainIndex(xs)
+	return JainIndex(xs), nil
 }
 
 // UserStats aggregates outcomes for one submitting user.
@@ -41,8 +45,12 @@ type UserStats struct {
 }
 
 // PerUser groups records by user ID (jobs with unknown user -1 are
-// aggregated under -1), supporting per-user equity analysis.
-func (c *Collector) PerUser() map[int]UserStats {
+// aggregated under -1), supporting per-user equity analysis. It fails
+// with ErrStreaming when the collector retained no records.
+func (c *Collector) PerUser() (map[int]UserStats, error) {
+	if !c.retain {
+		return nil, ErrStreaming
+	}
 	sums := map[int]*UserStats{}
 	for _, rec := range c.records {
 		u := rec.Job.User
@@ -65,5 +73,5 @@ func (c *Collector) PerUser() map[int]UserStats {
 		s.AvgWait /= n
 		out[u] = *s
 	}
-	return out
+	return out, nil
 }

@@ -67,7 +67,10 @@ func TestPerUser(t *testing.T) {
 	add(1, 30)
 	add(2, 100)
 	add(-1, 5)
-	stats := c.PerUser()
+	stats, err := c.PerUser()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(stats) != 3 {
 		t.Fatalf("user groups = %d, want 3", len(stats))
 	}
@@ -94,7 +97,7 @@ func TestBSLDFairnessOnCollector(t *testing.T) {
 		c.JobStarted(rs, 0)
 		c.JobFinished(rs, end)
 	}
-	if got := c.BSLDFairness(); math.Abs(got-1) > 1e-12 {
-		t.Errorf("fairness = %v, want 1", got)
+	if got, err := c.BSLDFairness(); err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("fairness = %v, want 1 (err %v)", got, err)
 	}
 }

@@ -10,10 +10,26 @@
 // past a fraction of it. Add is therefore an O(1) append (the seed-era
 // implementation insertion-sorted every delta, turning a replanning pass
 // over n entries into O(n²) memmoves), point queries binary-search the
-// prefix sums, and the skyline sweeps of EarliestStart walk the two
-// sorted tiers with a single merge cursor. LoadReleases bulk-loads an
+// prefix sums, and the skyline sweeps of EarliestStart walk the sorted
+// tiers with a single merge cursor. LoadReleases bulk-loads an
 // already-sorted release schedule — the scheduler maintains one
 // incrementally across passes — in one pass with no sorting at all.
+//
+// On top of that the profile has a persistent ("incremental") mode for
+// schedulers that replan every pass: StartEpoch loads the base skyline
+// once, Occupy/Vacate then mutate it in O(1) amortized per job start,
+// completion and gear switch (a completion is a negative "credit" entry
+// cancelling the tail of the planned occupancy), and reservations live in
+// a separate journaled layer that TruncateReservations can roll back to
+// any pass prefix — the changed-prefix contract the scheduler's
+// replanning uses to reuse untouched reservations verbatim. Queries in
+// this mode overlay base and reservation tiers; for times at or after the
+// latest BeginPass they answer exactly like a profile rebuilt from
+// scratch, and EarliestStart descends a max/min-augmented skyline tree
+// over the main tier in O(log n) instead of walking its segments. Expired
+// and mutually-cancelling deltas are folded away during merges, so the
+// live delta count tracks the running and planned jobs, not the history
+// of the run.
 package profile
 
 import (
@@ -42,6 +58,13 @@ type delta struct {
 	d int
 }
 
+// incPendingFlush caps the live pending tier in incremental mode. It is
+// deliberately tighter than the shared-tier threshold: every query scans
+// the live pending tier linearly, and in incremental mode queries run on
+// every scheduling pass, so a small bound keeps the per-pass overlay walk
+// short while the fold/merge cost stays O(1) amortized per mutation.
+const incPendingFlush = 192
+
 // Profile is a set of occupancy entries on a machine of Total processors.
 type Profile struct {
 	Total    int
@@ -52,18 +75,40 @@ type Profile struct {
 
 	pending       []delta // recent Adds, sorted lazily at query time
 	pendingSorted bool
+	pendLo        int // pending[:pendLo] has been folded into pendBase
+	pendBase      int // usage sum of folded pending deltas (incremental)
 
 	scratch []delta // merge buffer reused across flushes
+
+	// Incremental (persistent) mode: StartEpoch loads the base skyline,
+	// Occupy/Vacate mutate it, and reservations live in their own
+	// journaled layer so the scheduler can roll back exactly the suffix a
+	// pass replans.
+	inc     bool
+	horizon float64 // latest BeginPass time; deltas at or before it fold
+
+	resv           []delta // sorted reservation tier
+	resvPrefix     []int
+	resvPend       []delta // recent reservations, sorted lazily
+	resvPendSorted bool
+	resvLog        []Entry // placement-order reservation journal
+	resvMain       int     // resvLog[:resvMain] is folded into resv
+
+	tree skyTree
+	// noTree disables the skyline-tree sweep (differential tests compare
+	// the tree descent against the linear reference).
+	noTree bool
 }
 
 // New returns an empty profile for a machine of total processors.
 func New(total int) *Profile {
-	return &Profile{Total: total, pendingSorted: true}
+	return &Profile{Total: total, pendingSorted: true, resvPendSorted: true}
 }
 
 // Reset empties the profile for a machine of total processors, retaining
 // the storage capacity of previous use. It lets a scheduler replan every
-// pass without reallocating the profile storage.
+// pass without reallocating the profile storage. Reset leaves incremental
+// mode; StartEpoch re-enters it.
 func (p *Profile) Reset(total int) {
 	p.Total = total
 	p.nentries = 0
@@ -71,6 +116,17 @@ func (p *Profile) Reset(total int) {
 	p.prefix = p.prefix[:0]
 	p.pending = p.pending[:0]
 	p.pendingSorted = true
+	p.pendLo = 0
+	p.pendBase = 0
+	p.inc = false
+	p.horizon = math.Inf(-1)
+	p.resv = p.resv[:0]
+	p.resvPrefix = p.resvPrefix[:0]
+	p.resvPend = p.resvPend[:0]
+	p.resvPendSorted = true
+	p.resvLog = p.resvLog[:0]
+	p.resvMain = 0
+	p.tree.drop()
 }
 
 // Add inserts an occupancy interval. Entries with non-positive duration or
@@ -80,11 +136,17 @@ func (p *Profile) Add(e Entry) {
 		return
 	}
 	p.nentries++
-	if n := len(p.pending); n > 0 && e.Start < p.pending[n-1].t {
+	p.basePush(e.Start, e.End, e.CPUs)
+}
+
+// basePush appends the delta pair of a (possibly negative) base usage
+// interval to the pending tier.
+func (p *Profile) basePush(start, end float64, d int) {
+	if n := len(p.pending); n > p.pendLo && start < p.pending[n-1].t {
 		p.pendingSorted = false
 	}
-	// End > Start, so the second append never breaks sortedness on its own.
-	p.pending = append(p.pending, delta{t: e.Start, d: e.CPUs}, delta{t: e.End, d: -e.CPUs})
+	// end > start, so the second append never breaks sortedness on its own.
+	p.pending = append(p.pending, delta{t: start, d: d}, delta{t: end, d: -d})
 }
 
 // LoadReleases resets the profile to a machine of total processors and
@@ -111,22 +173,171 @@ func (p *Profile) LoadReleases(total int, now float64, rels []Release) {
 	p.nentries += len(rels)
 }
 
-// prepare sorts the pending tier if needed and folds it into the main
-// tier once it outgrows the merge threshold. Amortized across a
-// replanning pass the merges cost O(1) per Add; between merges queries
-// pay one extra scan over the (bounded) pending tier.
+// StartEpoch enters incremental mode: the base skyline is bulk-loaded
+// from the release schedule exactly like LoadReleases, and the profile
+// then persists across scheduling passes — Occupy/Vacate keep the base
+// current and AddReservation/TruncateReservations manage the journaled
+// reservation layer. Queries are exact for times at or after the latest
+// BeginPass.
+func (p *Profile) StartEpoch(total int, now float64, rels []Release) {
+	p.LoadReleases(total, now, rels)
+	p.inc = true
+	p.horizon = now
+	p.tree.build(p.prefix)
+}
+
+// BeginPass advances the query horizon to the current pass time. Deltas
+// at or before the horizon may be folded together during merges (they are
+// indistinguishable to queries at or after it), which is what keeps the
+// live delta count proportional to the running and planned jobs.
+// now must be nondecreasing across passes.
+func (p *Profile) BeginPass(now float64) {
+	if p.inc && now > p.horizon {
+		p.horizon = now
+	}
+}
+
+// Occupy records cpus processors becoming busy during [start, end) — a
+// job start in incremental mode. O(1) amortized.
+func (p *Profile) Occupy(cpus int, start, end float64) {
+	if end <= start || cpus <= 0 {
+		return
+	}
+	p.basePush(start, end, cpus)
+}
+
+// Vacate cancels a previously recorded occupancy over [start, end): the
+// processors of a job that completed (or switched gears) before its
+// planned end are handed back by a negative "credit" entry. start must be
+// at or before the current pass time and end must be the exact End the
+// occupancy was recorded with, so the base step function over the queried
+// future matches a fresh rebuild. O(1) amortized.
+func (p *Profile) Vacate(cpus int, start, end float64) {
+	if end <= start || cpus <= 0 {
+		return
+	}
+	p.basePush(start, end, -cpus)
+}
+
+// AddReservation appends a planned-job reservation to the journaled
+// reservation layer. Degenerate entries occupy nothing but still consume
+// a journal position, so journal indexes align with the scheduler's queue
+// positions.
+func (p *Profile) AddReservation(e Entry) {
+	p.resvLog = append(p.resvLog, e)
+	if e.End <= e.Start || e.CPUs <= 0 {
+		return
+	}
+	p.nentries++
+	if n := len(p.resvPend); n > 0 && e.Start < p.resvPend[n-1].t {
+		p.resvPendSorted = false
+	}
+	p.resvPend = append(p.resvPend, delta{t: e.Start, d: e.CPUs}, delta{t: e.End, d: -e.CPUs})
+}
+
+// Reservations returns the number of journaled reservations.
+func (p *Profile) Reservations() int { return len(p.resvLog) }
+
+// TruncateReservations rolls the reservation layer back to its first n
+// journal entries: the suffix a replanning pass invalidated is dropped,
+// everything before it stays placed verbatim. Dropping only journal
+// entries still in the pending tier is O(suffix); cutting into the merged
+// tier rebuilds it from the journal prefix.
+func (p *Profile) TruncateReservations(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(p.resvLog) {
+		return
+	}
+	if n >= p.resvMain {
+		// The suffix lives entirely in the pending tier: rebuild it from
+		// the journal slice between the merged boundary and the cut.
+		p.resvPend = p.resvPend[:0]
+		p.resvPendSorted = true
+		for _, e := range p.resvLog[p.resvMain:n] {
+			if e.End <= e.Start || e.CPUs <= 0 {
+				continue
+			}
+			if m := len(p.resvPend); m > 0 && e.Start < p.resvPend[m-1].t {
+				p.resvPendSorted = false
+			}
+			p.resvPend = append(p.resvPend, delta{t: e.Start, d: e.CPUs}, delta{t: e.End, d: -e.CPUs})
+		}
+	} else {
+		// The cut reaches into the merged tier: rebuild it from the kept
+		// journal prefix.
+		p.resv = p.resv[:0]
+		for _, e := range p.resvLog[:n] {
+			if e.End <= e.Start || e.CPUs <= 0 {
+				continue
+			}
+			p.resv = append(p.resv, delta{t: e.Start, d: e.CPUs}, delta{t: e.End, d: -e.CPUs})
+		}
+		slices.SortFunc(p.resv, deltaCmp)
+		p.resvPrefix = p.resvPrefix[:0]
+		run := 0
+		for _, d := range p.resv {
+			run += d.d
+			p.resvPrefix = append(p.resvPrefix, run)
+		}
+		p.resvMain = n
+		p.resvPend = p.resvPend[:0]
+		p.resvPendSorted = true
+	}
+	for _, e := range p.resvLog[n:] {
+		if e.End > e.Start && e.CPUs > 0 {
+			p.nentries--
+		}
+	}
+	p.resvLog = p.resvLog[:n]
+}
+
+// BaseDeltas returns the live delta count of the base tiers — the
+// scheduler's trigger for re-anchoring an epoch when credit history has
+// accumulated past a multiple of the running set.
+func (p *Profile) BaseDeltas() int {
+	return len(p.deltas) + len(p.pending) - p.pendLo
+}
+
+func deltaCmp(a, b delta) int {
+	switch {
+	case a.t < b.t:
+		return -1
+	case a.t > b.t:
+		return 1
+	}
+	return 0
+}
+
+// prepare sorts the pending tiers if needed, folds expired deltas behind
+// the horizon, and merges a tier into its main list once it outgrows the
+// merge threshold. Amortized across a replanning pass the merges cost
+// O(1) per mutation; between merges queries pay one extra scan over the
+// (bounded) pending tiers.
 func (p *Profile) prepare() {
 	if !p.pendingSorted {
-		slices.SortFunc(p.pending, func(a, b delta) int {
-			switch {
-			case a.t < b.t:
-				return -1
-			case a.t > b.t:
-				return 1
-			}
-			return 0
-		})
+		slices.SortFunc(p.pending[p.pendLo:], deltaCmp)
 		p.pendingSorted = true
+	}
+	if p.inc {
+		// Fold pending deltas that can no longer be distinguished by any
+		// valid query (t <= horizon) into a single usage offset.
+		for p.pendLo < len(p.pending) && p.pending[p.pendLo].t <= p.horizon {
+			p.pendBase += p.pending[p.pendLo].d
+			p.pendLo++
+		}
+		if len(p.pending)-p.pendLo > incPendingFlush {
+			p.flush()
+		}
+		if !p.resvPendSorted {
+			slices.SortFunc(p.resvPend, deltaCmp)
+			p.resvPendSorted = true
+		}
+		if len(p.resvPend) > 64+len(p.resv)/16 {
+			p.flushResv()
+		}
+		return
 	}
 	if len(p.pending) > 64+len(p.deltas)/16 {
 		p.flush()
@@ -134,43 +345,127 @@ func (p *Profile) prepare() {
 }
 
 // flush merges the sorted pending tier into the main tier and rebuilds
-// the prefix sums in one pass.
+// the prefix sums in one pass, writing into the scratch buffer (never
+// aliasing its inputs). In incremental mode the merge also compacts:
+// everything at or before the horizon (including the folded pending
+// offset) collapses into one leading delta at the horizon, equal-time
+// groups merge, and groups with zero net change vanish — expired history
+// and credit/occupancy pairs cancel instead of accumulating, while the
+// step function over [horizon, ∞) is unchanged.
 func (p *Profile) flush() {
 	merged := p.scratch[:0]
+	pend := p.pending[p.pendLo:]
 	i, j := 0, 0
-	for i < len(p.deltas) || j < len(p.pending) {
-		if j >= len(p.pending) || (i < len(p.deltas) && p.deltas[i].t <= p.pending[j].t) {
-			merged = append(merged, p.deltas[i])
+	if p.inc {
+		lead := p.pendBase
+		p.pendBase = 0
+		for i < len(p.deltas) && p.deltas[i].t <= p.horizon {
+			lead += p.deltas[i].d
 			i++
-		} else {
-			merged = append(merged, p.pending[j])
+		}
+		for j < len(pend) && pend[j].t <= p.horizon {
+			lead += pend[j].d
 			j++
+		}
+		if lead != 0 {
+			merged = append(merged, delta{t: p.horizon, d: lead})
+		}
+		for i < len(p.deltas) || j < len(pend) {
+			t := math.Inf(1)
+			if i < len(p.deltas) {
+				t = p.deltas[i].t
+			}
+			if j < len(pend) && pend[j].t < t {
+				t = pend[j].t
+			}
+			d := 0
+			for i < len(p.deltas) && p.deltas[i].t == t {
+				d += p.deltas[i].d
+				i++
+			}
+			for j < len(pend) && pend[j].t == t {
+				d += pend[j].d
+				j++
+			}
+			if d != 0 {
+				merged = append(merged, delta{t: t, d: d})
+			}
+		}
+	} else {
+		for i < len(p.deltas) || j < len(pend) {
+			if j >= len(pend) || (i < len(p.deltas) && p.deltas[i].t <= pend[j].t) {
+				merged = append(merged, p.deltas[i])
+				i++
+			} else {
+				merged = append(merged, pend[j])
+				j++
+			}
 		}
 	}
 	p.scratch, p.deltas = p.deltas[:0], merged
 	p.pending = p.pending[:0]
+	p.pendLo = 0
 	p.prefix = p.prefix[:0]
 	run := 0
 	for _, d := range p.deltas {
 		run += d.d
 		p.prefix = append(p.prefix, run)
 	}
+	if p.inc {
+		p.tree.build(p.prefix)
+	}
+}
+
+// flushResv merges the sorted reservation pending tier into the
+// reservation main tier. Reservation deltas are never folded or
+// collapsed: TruncateReservations must be able to rebuild any prefix from
+// the journal, and the layer is cleared wholesale on full replans.
+func (p *Profile) flushResv() {
+	merged := p.scratch[:0]
+	i, j := 0, 0
+	for i < len(p.resv) || j < len(p.resvPend) {
+		if j >= len(p.resvPend) || (i < len(p.resv) && p.resv[i].t <= p.resvPend[j].t) {
+			merged = append(merged, p.resv[i])
+			i++
+		} else {
+			merged = append(merged, p.resvPend[j])
+			j++
+		}
+	}
+	p.scratch, p.resv = p.resv[:0], merged
+	p.resvPend = p.resvPend[:0]
+	p.resvMain = len(p.resvLog)
+	p.resvPrefix = p.resvPrefix[:0]
+	run := 0
+	for _, d := range p.resv {
+		run += d.d
+		p.resvPrefix = append(p.resvPrefix, run)
+	}
 }
 
 // Len returns the number of entries.
 func (p *Profile) Len() int { return p.nentries }
 
-// UsedAt returns the number of processors busy at time t. The main tier
-// is answered by binary search over the prefix-summed deltas; only the
-// small pending tier is scanned.
+// UsedAt returns the number of processors busy at time t. The main tiers
+// are answered by binary search over the prefix-summed deltas; only the
+// small pending tiers are scanned. In incremental mode t must be at or
+// after the latest BeginPass time.
 func (p *Profile) UsedAt(t float64) int {
 	p.prepare()
-	used := 0
+	used := p.pendBase
 	if i := sort.Search(len(p.deltas), func(i int) bool { return p.deltas[i].t > t }); i > 0 {
-		used = p.prefix[i-1]
+		used += p.prefix[i-1]
 	}
-	for j := 0; j < len(p.pending) && p.pending[j].t <= t; j++ {
+	for j := p.pendLo; j < len(p.pending) && p.pending[j].t <= t; j++ {
 		used += p.pending[j].d
+	}
+	if p.inc {
+		if i := sort.Search(len(p.resv), func(i int) bool { return p.resv[i].t > t }); i > 0 {
+			used += p.resvPrefix[i-1]
+		}
+		for j := 0; j < len(p.resvPend) && p.resvPend[j].t <= t; j++ {
+			used += p.resvPend[j].d
+		}
 	}
 	return used
 }
@@ -179,46 +474,146 @@ func (p *Profile) UsedAt(t float64) int {
 func (p *Profile) FreeAt(t float64) int { return p.Total - p.UsedAt(t) }
 
 // CanPlace reports whether cpus processors are continuously available
-// during [start, start+dur).
+// during [start, start+dur). A non-positive dur degenerates to the
+// instantaneous check: the processors must still be free at the start
+// itself, or a zero-length job could be placed on a full machine and
+// break the scheduler's allocation invariant.
 func (p *Profile) CanPlace(cpus int, start, dur float64) bool {
 	if cpus > p.Total {
 		return false
 	}
 	if dur <= 0 {
-		return true
+		return p.UsedAt(start)+cpus <= p.Total
 	}
 	return p.EarliestStart(cpus, dur, start) == start
 }
 
+// ovCursor walks the overlay tiers (live pending deltas plus, in
+// incremental mode, both reservation tiers) as one merged stream.
+type ovCursor struct {
+	a, b, c []delta
+	i, j, k int
+}
+
+// peek returns the next overlay time, +Inf when exhausted.
+func (c *ovCursor) peek() float64 {
+	t := math.Inf(1)
+	if c.i < len(c.a) && c.a[c.i].t < t {
+		t = c.a[c.i].t
+	}
+	if c.j < len(c.b) && c.b[c.j].t < t {
+		t = c.b[c.j].t
+	}
+	if c.k < len(c.c) && c.c[c.k].t < t {
+		t = c.c[c.k].t
+	}
+	return t
+}
+
+// take consumes every overlay delta at exactly t and returns their sum.
+func (c *ovCursor) take(t float64) int {
+	d := 0
+	for c.i < len(c.a) && c.a[c.i].t == t {
+		d += c.a[c.i].d
+		c.i++
+	}
+	for c.j < len(c.b) && c.b[c.j].t == t {
+		d += c.b[c.j].d
+		c.j++
+	}
+	for c.k < len(c.c) && c.c[c.k].t == t {
+		d += c.c[c.k].d
+		c.k++
+	}
+	return d
+}
+
+// skip consumes overlay deltas at or before t and returns their sum.
+func (c *ovCursor) skip(t float64) int {
+	d := 0
+	for c.i < len(c.a) && c.a[c.i].t <= t {
+		d += c.a[c.i].d
+		c.i++
+	}
+	for c.j < len(c.b) && c.b[c.j].t <= t {
+		d += c.b[c.j].d
+		c.j++
+	}
+	for c.k < len(c.c) && c.c[c.k].t <= t {
+		d += c.c[c.k].d
+		c.k++
+	}
+	return d
+}
+
 // EarliestStart returns the earliest time t >= from at which cpus
 // processors are continuously available for dur seconds. It returns +Inf
-// when cpus exceeds the machine size. The usage at `from` comes from a
-// binary search over the prefix sums; the sweep then walks the two
-// sorted tiers forward with a merge cursor and exits at the first
-// feasible window.
+// when cpus exceeds the machine size. The usage at `from` comes from
+// binary searches over the prefix sums; the sweep then either walks the
+// sorted tiers forward with a merge cursor, or — in incremental mode —
+// descends the max/min-augmented skyline tree over the main tier in
+// O(log n) per feasibility transition, overlaying the small pending and
+// reservation tiers. In incremental mode from must be at or after the
+// latest BeginPass time.
 func (p *Profile) EarliestStart(cpus int, dur, from float64) float64 {
 	if cpus > p.Total {
 		return math.Inf(1)
 	}
 	p.prepare()
 	limit := p.Total - cpus
-	main, pend := p.deltas, p.pending
-	i := sort.Search(len(main), func(k int) bool { return main[k].t > from })
-	used := 0
+	i := sort.Search(len(p.deltas), func(k int) bool { return p.deltas[k].t > from })
+	baseU := 0
 	if i > 0 {
-		used = p.prefix[i-1]
+		baseU = p.prefix[i-1]
 	}
-	j := 0
-	for ; j < len(pend) && pend[j].t <= from; j++ {
-		used += pend[j].d
+	ov := ovCursor{a: p.pending[p.pendLo:]}
+	if p.inc {
+		r := sort.Search(len(p.resv), func(k int) bool { return p.resv[k].t > from })
+		ov.b, ov.j = p.resv, r
+		rv := 0
+		if r > 0 {
+			rv = p.resvPrefix[r-1]
+		}
+		ov.c = p.resvPend
+		V := p.pendBase + rv + func() int {
+			d := 0
+			for ov.i < len(ov.a) && ov.a[ov.i].t <= from {
+				d += ov.a[ov.i].d
+				ov.i++
+			}
+			for ov.k < len(ov.c) && ov.c[ov.k].t <= from {
+				d += ov.c[ov.k].d
+				ov.k++
+			}
+			return d
+		}()
+		if !p.noTree && p.tree.len() == len(p.deltas) && len(p.deltas) >= skyTreeMin {
+			return p.earliestTree(i, baseU, V, ov, limit, dur, from)
+		}
+		return p.earliestLinear(i, baseU+V, ov, limit, dur, from)
 	}
+	used := baseU + p.pendBase + ov.skip(from)
+	return p.earliestLinear(i, used, ov, limit, dur, from)
+}
+
+// earliestLinear is the merge-cursor feasibility sweep over the main tier
+// and the overlay cursor. It is the reference the skyline-tree descent
+// must agree with exactly.
+func (p *Profile) earliestLinear(i, used int, ov ovCursor, limit int, dur, from float64) float64 {
+	if len(ov.b) == 0 && len(ov.c) == 0 {
+		// Single overlay list (non-incremental mode, or an incremental
+		// profile with no reservations): the tight two-cursor merge.
+		return p.earliestTwoWay(i, used, ov.a, ov.i, limit, dur, from)
+	}
+	main := p.deltas
 	cand := from
-	for i < len(main) || j < len(pend) {
-		var t float64
-		if i < len(main) && (j >= len(pend) || main[i].t <= pend[j].t) {
+	for {
+		t := ov.peek()
+		if i < len(main) && main[i].t < t {
 			t = main[i].t
-		} else {
-			t = pend[j].t
+		}
+		if math.IsInf(t, 1) {
+			break
 		}
 		// The segment ending at t has constant usage `used`.
 		if used > limit {
@@ -232,12 +627,109 @@ func (p *Profile) EarliestStart(cpus int, dur, from float64) float64 {
 			used += main[i].d
 			i++
 		}
+		used += ov.take(t)
+	}
+	// Past the last delta the machine is empty (all entries closed), so
+	// the candidate holds forever.
+	return cand
+}
+
+// earliestTwoWay sweeps the main tier against one pending list with the
+// minimal per-segment work; semantics are identical to earliestLinear.
+func (p *Profile) earliestTwoWay(i, used int, pend []delta, j, limit int, dur, from float64) float64 {
+	main := p.deltas
+	cand := from
+	for i < len(main) || j < len(pend) {
+		var t float64
+		if i < len(main) && (j >= len(pend) || main[i].t <= pend[j].t) {
+			t = main[i].t
+		} else {
+			t = pend[j].t
+		}
+		// The segment ending at t has constant usage `used`.
+		if used > limit {
+			cand = t
+		} else if t-cand >= dur {
+			return cand
+		}
+		for i < len(main) && main[i].t == t {
+			used += main[i].d
+			i++
+		}
 		for j < len(pend) && pend[j].t == t {
 			used += pend[j].d
 			j++
 		}
 	}
-	// Past the last delta the machine is empty (all entries closed), so
-	// the candidate holds forever.
 	return cand
+}
+
+// earliestTree is the skyline-tree feasibility sweep: between overlay
+// deltas the base usage is constant-shifted, so the next feasibility
+// transition inside the main tier is found by descending the tree for
+// the first prefix above/at-or-below the shifted limit instead of
+// walking segments one by one.
+func (p *Profile) earliestTree(i, baseU, V int, ov ovCursor, limit int, dur, from float64) float64 {
+	main, pfx := p.deltas, p.prefix
+	used := baseU + V
+	cand := from
+	for {
+		tOv := ov.peek()
+		iEnd := len(main)
+		if !math.IsInf(tOv, 1) {
+			iEnd = i + sort.Search(len(main)-i, func(k int) bool { return main[i+k].t >= tOv })
+		}
+		// Sweep the base range [i, iEnd) under constant overlay V: base
+		// usage must stay at or below L for the window to be feasible.
+		L := limit - V
+		for {
+			if used > limit {
+				w := p.tree.first(i, iEnd, L, false)
+				if w < 0 {
+					break // violated up to tOv
+				}
+				// Violated segments end where the base prefix drops back
+				// to L: the candidate restarts at that boundary.
+				cand = main[w].t
+				i = w + 1
+				used = pfx[w] + V
+			} else {
+				w := p.tree.first(i, iEnd, L, true)
+				if w < 0 {
+					break // feasible up to tOv
+				}
+				if main[w].t-cand >= dur {
+					return cand
+				}
+				i = w + 1
+				used = pfx[w] + V
+			}
+		}
+		// No more crossings before the overlay boundary: apply the rest of
+		// the range (its deltas shift usage without crossing the limit),
+		// then check the segment ending at the boundary.
+		i = iEnd
+		if i > 0 {
+			used = pfx[i-1] + V
+		} else {
+			used = V
+		}
+		if used > limit {
+			cand = tOv
+		} else if tOv-cand >= dur {
+			return cand // also the tOv = +Inf exit: the tail is free
+		}
+		if math.IsInf(tOv, 1) {
+			return cand
+		}
+		V += ov.take(tOv)
+		for i < len(main) && main[i].t == tOv {
+			i++
+		}
+		if i > 0 {
+			used = pfx[i-1] + V
+		} else {
+			used = V
+		}
+	}
 }

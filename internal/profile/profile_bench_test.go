@@ -57,6 +57,51 @@ func BenchmarkReplanPass(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalPass models the persistent-profile steady state at
+// n running jobs: each pass advances the horizon, credits one early
+// completion, records one start and answers two planning queries — no
+// rebuild anywhere. Compare with BenchmarkReplanPass, which pays the
+// bulk load on every pass: the per-pass cost here must be independent of
+// n up to the O(log n) query descents and the amortized fold/merge.
+func BenchmarkIncrementalPass(b *testing.B) {
+	for _, n := range []int{1_000, 4_000, 16_000} {
+		b.Run(fmt.Sprintf("running=%d", n), func(b *testing.B) {
+			r := rand.New(rand.NewSource(11))
+			const total = 1 << 20
+			type job struct {
+				cpus int
+				end  float64
+			}
+			rels := make([]Release, n)
+			live := make([]job, 0, n+1)
+			t := 0.0
+			for i := range rels {
+				t += 1 + r.Float64()*10
+				rels[i] = Release{Time: t, CPUs: 1 + r.Intn(64)}
+				live = append(live, job{cpus: rels[i].CPUs, end: rels[i].Time})
+			}
+			dur := t // every new job outlives all current ends, keeping the ring sorted
+			p := New(total)
+			p.StartEpoch(total, 0, rels)
+			now := 0.0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				done := live[0]
+				live = live[1:]
+				now = done.end - 0.5
+				p.BeginPass(now)
+				p.Vacate(done.cpus, now, done.end)
+				started := job{cpus: 1 + r.Intn(64), end: now + dur}
+				p.Occupy(started.cpus, now, started.end)
+				live = append(live, started)
+				p.EarliestStart(1024, 3600, now)
+				p.EarliestStart(64, 36000, now)
+			}
+		})
+	}
+}
+
 // BenchmarkCanPlace measures the backfill feasibility check.
 func BenchmarkCanPlace(b *testing.B) {
 	p := benchProfile(256)

@@ -60,6 +60,27 @@ func TestCanPlace(t *testing.T) {
 	}
 }
 
+// Regression: a zero-duration request (a zero-ReqTime job's kill limit)
+// must still check instantaneous availability — it used to report true on
+// a fully busy machine, letting the scheduler backfill a job it could not
+// allocate.
+func TestCanPlaceZeroDurationChecksInstantaneousFree(t *testing.T) {
+	p := New(8)
+	p.Add(Entry{Start: 0, End: 100, CPUs: 8})
+	if p.CanPlace(1, 50, 0) {
+		t.Error("zero-duration placement accepted on a full machine")
+	}
+	if !p.CanPlace(1, 100, 0) {
+		t.Error("zero-duration placement rejected after the release")
+	}
+	if !p.CanPlace(8, 100, 0) {
+		t.Error("zero-duration full-machine placement rejected on an idle machine")
+	}
+	if p.CanPlace(9, 100, 0) {
+		t.Error("oversized zero-duration placement accepted")
+	}
+}
+
 func TestEarliestStartBasic(t *testing.T) {
 	p := New(10)
 	p.Add(Entry{Start: 0, End: 100, CPUs: 8})
@@ -113,7 +134,9 @@ func refCanPlace(p *Profile, entries []Entry, cpus int, start, dur float64) bool
 		return false
 	}
 	if dur <= 0 {
-		return true
+		// Zero-length placements still need the processors free at the
+		// start instant (the scheduler allocates them there).
+		return naiveUsedAt(entries, start)+cpus <= p.Total
 	}
 	end := start + dur
 	if p.UsedAt(start)+cpus > p.Total {

@@ -1,0 +1,103 @@
+package profile
+
+import "math"
+
+// skyTreeMin is the main-tier size below which the linear merge sweep is
+// used outright: descending a tree over a handful of segments costs more
+// than walking them.
+const skyTreeMin = 32
+
+// skyTree is a max/min-augmented segment tree over the main tier's
+// prefix-summed usage ("skyline"): node k covers a power-of-two range of
+// delta indexes and stores the maximum and minimum prefix usage inside
+// it. EarliestStart uses it to find the first index in a range whose
+// usage crosses a feasibility limit in O(log n) — the boundary where a
+// violated stretch ends or a feasible stretch breaks — instead of
+// walking every segment in between.
+type skyTree struct {
+	size     int // number of leaves (power of two), 0 when absent
+	n        int // live leaves (= len of the prefix array built from)
+	max, min []int
+}
+
+// drop discards the tree (the main tier is about to change shape).
+func (t *skyTree) drop() { t.size, t.n = 0, 0 }
+
+// len returns the number of live leaves, 0 when the tree is absent.
+func (t *skyTree) len() int {
+	if t.size == 0 {
+		return 0
+	}
+	return t.n
+}
+
+// build (re)builds the tree over the given prefix-usage array in O(n).
+func (t *skyTree) build(prefix []int) {
+	n := len(prefix)
+	if n < skyTreeMin {
+		t.drop()
+		return
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	if cap(t.max) < 2*size {
+		t.max = make([]int, 2*size)
+		t.min = make([]int, 2*size)
+	}
+	t.max = t.max[:2*size]
+	t.min = t.min[:2*size]
+	t.size, t.n = size, n
+	for i := 0; i < n; i++ {
+		t.max[size+i] = prefix[i]
+		t.min[size+i] = prefix[i]
+	}
+	for i := n; i < size; i++ {
+		// Padding leaves can never qualify for either search direction.
+		t.max[size+i] = math.MinInt
+		t.min[size+i] = math.MaxInt
+	}
+	for i := size - 1; i >= 1; i-- {
+		l, r := 2*i, 2*i+1
+		t.max[i] = t.max[l]
+		if t.max[r] > t.max[i] {
+			t.max[i] = t.max[r]
+		}
+		t.min[i] = t.min[l]
+		if t.min[r] < t.min[i] {
+			t.min[i] = t.min[r]
+		}
+	}
+}
+
+// first returns the smallest index in [lo, hi) whose prefix usage is
+// above the limit (above=true) or at/below it (above=false), or -1 when
+// no such index exists in the range.
+func (t *skyTree) first(lo, hi, limit int, above bool) int {
+	if lo >= hi || t.size == 0 {
+		return -1
+	}
+	return t.descend(1, 0, t.size, lo, hi, limit, above)
+}
+
+func (t *skyTree) descend(node, nlo, nhi, lo, hi, limit int, above bool) int {
+	if nhi <= lo || hi <= nlo {
+		return -1
+	}
+	if above {
+		if t.max[node] <= limit {
+			return -1
+		}
+	} else if t.min[node] > limit {
+		return -1
+	}
+	if nhi-nlo == 1 {
+		return nlo
+	}
+	mid := (nlo + nhi) / 2
+	if r := t.descend(2*node, nlo, mid, lo, hi, limit, above); r >= 0 {
+		return r
+	}
+	return t.descend(2*node+1, mid, nhi, lo, hi, limit, above)
+}

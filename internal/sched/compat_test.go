@@ -27,15 +27,27 @@ func TestCompatModesProduceIdenticalSchedules(t *testing.T) {
 		{"conservative", Conservative, FCFSOrder, 0},
 		{"easy-sjf", EASY, SJFOrder, 0},
 		{"flexible-4", EASY, FCFSOrder, 4},
+		{"conservative-sjf", Conservative, SJFOrder, 0},
 	}
 	gears := dvfs.PaperGearSet()
-	run := func(fx fixture, compat Compat, seed int64) (map[int]float64, map[int]float64) {
+	policies := map[string]func() GearPolicy{
+		"top": topPolicy,
+		// The wait/wq-sensitive policy flips gears as queues grow and
+		// earliest starts drift, stressing the persistent profile's
+		// changed-prefix revalidation: a retained reservation may only be
+		// reused when re-asking the policy provably returns the same gear.
+		"varying": func() GearPolicy { return varyingPolicy{gears: gears} },
+		// The boosting policy re-gears running jobs from PostPass, so the
+		// persistent profile must swap their base occupancies mid-epoch.
+		"boosting": func() GearPolicy { return boostingPolicy{gears: gears} },
+	}
+	run := func(fx fixture, pol GearPolicy, compat Compat, seed int64) (map[int]float64, map[int]float64) {
 		rec := newAudit(t, 16)
 		sys, err := New(Config{
 			CPUs:         16,
 			Gears:        gears,
 			TimeModel:    dvfs.NewTimeModel(0.5, gears),
-			Policy:       topPolicy(),
+			Policy:       pol,
 			Variant:      fx.variant,
 			Order:        fx.order,
 			Reservations: fx.resv,
@@ -51,33 +63,106 @@ func TestCompatModesProduceIdenticalSchedules(t *testing.T) {
 		return rec.starts, rec.ends
 	}
 	compats := map[string]Compat{
-		"seed":           SeedCompat(),
-		"stream-only":    {ScanRemoval: true, ScratchAlloc: true},
-		"tombstone-only": {UpfrontArrivals: true, ScratchAlloc: true},
+		"seed":            SeedCompat(),
+		"stream-only":     {ScanRemoval: true, ScratchAlloc: true},
+		"tombstone-only":  {UpfrontArrivals: true, ScratchAlloc: true},
+		"rebuild-profile": {RebuildProfile: true},
 	}
 	for _, fx := range fixtures {
-		t.Run(fx.name, func(t *testing.T) {
-			for seed := int64(1); seed <= 4; seed++ {
-				wantStarts, wantEnds := run(fx, Compat{}, seed)
-				for cname, c := range compats {
-					gotStarts, gotEnds := run(fx, c, seed)
-					if len(gotStarts) != len(wantStarts) {
-						t.Fatalf("seed %d %s: %d jobs started, optimized %d",
-							seed, cname, len(gotStarts), len(wantStarts))
-					}
-					for id, st := range wantStarts {
-						if gotStarts[id] != st {
-							t.Fatalf("seed %d %s: job %d start %v, optimized %v",
-								seed, cname, id, gotStarts[id], st)
+		for pname, mk := range policies {
+			t.Run(fx.name+"/"+pname, func(t *testing.T) {
+				for seed := int64(1); seed <= 4; seed++ {
+					wantStarts, wantEnds := run(fx, mk(), Compat{}, seed)
+					for cname, c := range compats {
+						gotStarts, gotEnds := run(fx, mk(), c, seed)
+						if len(gotStarts) != len(wantStarts) {
+							t.Fatalf("seed %d %s: %d jobs started, optimized %d",
+								seed, cname, len(gotStarts), len(wantStarts))
 						}
-						if gotEnds[id] != wantEnds[id] {
-							t.Fatalf("seed %d %s: job %d end %v, optimized %v",
-								seed, cname, id, gotEnds[id], wantEnds[id])
+						for id, st := range wantStarts {
+							if gotStarts[id] != st {
+								t.Fatalf("seed %d %s: job %d start %v, optimized %v",
+									seed, cname, id, gotStarts[id], st)
+							}
+							if gotEnds[id] != wantEnds[id] {
+								t.Fatalf("seed %d %s: job %d end %v, optimized %v",
+									seed, cname, id, gotEnds[id], wantEnds[id])
+							}
 						}
 					}
 				}
-			}
-		})
+			})
+		}
+	}
+}
+
+// varyingPolicy is a deterministic gear policy whose decisions depend on
+// everything a pass may change — the queue depth and the reservation's
+// earliest start — so any stale reservation reuse in the persistent
+// profile shows up as a schedule divergence.
+type varyingPolicy struct {
+	gears dvfs.GearSet
+}
+
+func (p varyingPolicy) Name() string { return "varying" }
+
+func (p varyingPolicy) ReserveGear(j *workload.Job, start, now float64, wqOthers int) dvfs.Gear {
+	if wqOthers > 3 {
+		return p.gears.Top()
+	}
+	if start-j.Submit > 120 {
+		return p.gears.Top()
+	}
+	return p.gears[0]
+}
+
+func (p varyingPolicy) BackfillGear(j *workload.Job, now float64, wqOthers int, feasible func(dvfs.Gear) bool) (dvfs.Gear, bool) {
+	start := len(p.gears) - 1
+	if wqOthers <= 3 && now-j.Submit <= 120 {
+		start = 0
+	}
+	for i := start; i < len(p.gears); i++ {
+		if feasible(p.gears[i]) {
+			return p.gears[i], true
+		}
+	}
+	return dvfs.Gear{}, false
+}
+
+func (p varyingPolicy) PostPass(sys *System, now float64) {}
+
+// boostingPolicy starts everything at the lowest gear and raises running
+// reduced jobs to the top gear whenever more than two jobs wait — the
+// paper's dynamic boost shape — so gear switches (SetGear) hit the
+// persistent profile's occupancy-swap path on every variant.
+type boostingPolicy struct {
+	gears dvfs.GearSet
+}
+
+func (p boostingPolicy) Name() string { return "boosting" }
+
+func (p boostingPolicy) ReserveGear(j *workload.Job, start, now float64, wqOthers int) dvfs.Gear {
+	return p.gears[0]
+}
+
+func (p boostingPolicy) BackfillGear(j *workload.Job, now float64, wqOthers int, feasible func(dvfs.Gear) bool) (dvfs.Gear, bool) {
+	for _, g := range p.gears {
+		if feasible(g) {
+			return g, true
+		}
+	}
+	return dvfs.Gear{}, false
+}
+
+func (p boostingPolicy) PostPass(sys *System, now float64) {
+	if sys.QueueLen() <= 2 {
+		return
+	}
+	top := p.gears.Top()
+	for _, rs := range sys.Running() {
+		if rs.Gear != top {
+			sys.SetGear(rs, top, now)
+		}
 	}
 }
 

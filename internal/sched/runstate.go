@@ -35,6 +35,12 @@ type RunState struct {
 	// removal is O(1) (the slot is tombstoned and compacted lazily).
 	runIdx int
 
+	// profEnd is the End this job's occupancy is recorded with in the
+	// persistent availability profile (the planned end, clamped at epoch
+	// loads). Completions and gear switches credit exactly this interval
+	// back, keeping the incremental base skyline equal to a fresh build.
+	profEnd float64
+
 	// phaseStart is when the current gear began; closed phases live in
 	// Phases. workDone accumulates completed top-frequency seconds of the
 	// closed phases (for mid-run gear switches).

@@ -109,12 +109,18 @@ type Compat struct {
 	// queues, availability profiles, engine events) on every pass instead
 	// of reusing per-system buffers.
 	ScratchAlloc bool
+	// RebuildProfile rebuilds the availability profile from the cached
+	// release schedule on every replanning pass instead of persisting it
+	// across passes under the changed-prefix analysis. It quantifies the
+	// incremental-replanning win on its own (ScratchAlloc implies an even
+	// older per-entry rebuild).
+	RebuildProfile bool
 }
 
 // SeedCompat returns the full seed-era behavior: every hot-path
 // optimization disabled.
 func SeedCompat() Compat {
-	return Compat{UpfrontArrivals: true, ScanRemoval: true, ScratchAlloc: true}
+	return Compat{UpfrontArrivals: true, ScanRemoval: true, ScratchAlloc: true, RebuildProfile: true}
 }
 
 // Config assembles a simulated system.
@@ -183,6 +189,21 @@ type System struct {
 	// fed to its bulk loader.
 	prof     *profile.Profile
 	profRels []profile.Release
+
+	// Persistent-profile (incremental replanning) state. The default
+	// replanning path keeps prof alive across passes: the base skyline is
+	// mutated in O(1) per start/completion/gear switch, and reservations
+	// placed in earlier passes are reused verbatim up to the first queue
+	// position whose reservation could move (the changed-prefix
+	// analysis). resvMeta records, per retained reservation, the inputs
+	// that planned it; profClean is how many leading entries the next
+	// pass may consider reusing; profMut notes a base mutation (start,
+	// completion, gear switch) since they were planned, which invalidates
+	// the whole prefix.
+	resvMeta  []resvInfo
+	profLive  bool
+	profMut   bool
+	profClean int
 
 	// rsPool recycles RunStates after their completion callbacks ran,
 	// together with their Alloc.Runs and Phases capacity, so the steady
@@ -580,15 +601,38 @@ func (s *System) setQueue(kept []*workload.Job) {
 	s.queue = kept
 }
 
+// resvInfo records one retained reservation: the inputs that planned it
+// (the top-gear earliest start fed to ReserveGear and the gear it chose)
+// and the resulting slot start, so the next pass can prove a fresh replan
+// would reproduce the reservation verbatim before reusing it.
+type resvInfo struct {
+	job   *workload.Job
+	est   float64
+	start float64
+	gear  dvfs.Gear
+}
+
 // profilePass replans the queue against an availability profile. The
 // first maxRes blocked jobs receive reservations (placed in queue order,
 // never delaying an earlier one); the rest may only start immediately, and
 // only if that disturbs no reservation. maxRes = len(queue) yields
 // conservative backfilling; small maxRes yields "flexible" EASY variants
 // protecting the first K queued jobs.
+//
+// The default path persists the profile across passes: the base skyline
+// is kept current incrementally and the leading run of reservations whose
+// replan provably reproduces them is reused verbatim. A pass then costs
+// one gear-policy re-ask per retained reservation (the reuse proof) plus
+// full replanning of the changed suffix — the O(running) profile rebuild
+// and the per-prefix-position profile sweeps are gone.
+// Compat.RebuildProfile selects the bulk-rebuild-per-pass reference,
+// Compat.ScratchAlloc the seed-era per-entry rebuild; all three produce
+// byte-identical schedules.
 func (s *System) profilePass(now float64, maxRes int) {
 	var prof *profile.Profile
-	if s.cfg.Compat.ScratchAlloc {
+	resume := 0
+	switch {
+	case s.cfg.Compat.ScratchAlloc:
 		// Seed-era path: a fresh profile filled entry by entry from the
 		// run list. Releases at or before `now` are clamped strictly
 		// after it — a job at its kill limit still occupies processors
@@ -602,11 +646,12 @@ func (s *System) profilePass(now float64, maxRes int) {
 			}
 			prof.Add(profile.Entry{Start: now, End: clampRelease(rs.PlannedEnd, now), CPUs: rs.Job.Procs})
 		}
-	} else {
-		// Optimized path: bulk-load the cached sorted release schedule.
-		// The clamp maps a prefix of the sorted order onto one shared
-		// point strictly after now, so the schedule stays sorted and the
-		// resulting step function is identical to the seed path's.
+	case s.cfg.Compat.RebuildProfile:
+		// Bulk-rebuild reference: load the cached sorted release schedule
+		// from scratch every pass. The clamp maps a prefix of the sorted
+		// order onto one shared point strictly after now, so the schedule
+		// stays sorted and the resulting step function is identical to
+		// the seed path's.
 		if s.prof == nil {
 			s.prof = profile.New(s.cl.Total())
 		}
@@ -618,14 +663,20 @@ func (s *System) profilePass(now float64, maxRes int) {
 		s.profRels = buf
 		s.prof.LoadReleases(s.cl.Total(), now, buf)
 		prof = s.prof
+	default:
+		prof = s.persistentProfile(now)
+		resume = s.cleanPrefix(now, maxRes)
+		prof.TruncateReservations(resume)
+		s.truncResvMeta(resume)
 	}
-	kept := s.queue[:0]
+	incremental := !s.cfg.Compat.ScratchAlloc && !s.cfg.Compat.RebuildProfile
+	kept := s.queue[:resume]
 	if s.cfg.Compat.ScratchAlloc {
 		kept = make([]*workload.Job, 0, len(s.queue))
 	}
 	qlen := len(s.queue)
-	reserved := 0
-	for _, j := range s.queue {
+	reserved := resume
+	for _, j := range s.queue[resume:] {
 		if reserved < maxRes {
 			// Reservation (or immediate start): the gear decision sees
 			// the start the job would get at the top gear; the slot is
@@ -635,11 +686,22 @@ func (s *System) profilePass(now float64, maxRes int) {
 			d := s.reqDur(j, g)
 			st := prof.EarliestStart(j.Procs, d, now)
 			if st <= now {
-				s.start(j, g, now)
+				s.start(j, g, now) // registers its own occupancy when incremental
 				qlen--
-				prof.Add(profile.Entry{Start: now, End: now + d, CPUs: j.Procs})
+				if !incremental {
+					// The clamp keeps a zero-duration start (ReqTime 0)
+					// occupying its processors at `now` itself; without it
+					// the pass could place another job on them and break
+					// the allocation invariant.
+					prof.Add(profile.Entry{Start: now, End: clampRelease(now+d, now), CPUs: j.Procs})
+				}
 			} else {
-				prof.Add(profile.Entry{Start: st, End: st + d, CPUs: j.Procs})
+				if incremental {
+					prof.AddReservation(profile.Entry{Start: st, End: st + d, CPUs: j.Procs})
+					s.resvMeta = append(s.resvMeta, resvInfo{job: j, est: est, start: st, gear: g})
+				} else {
+					prof.Add(profile.Entry{Start: st, End: st + d, CPUs: j.Procs})
+				}
 				reserved++
 				kept = append(kept, j)
 			}
@@ -652,13 +714,112 @@ func (s *System) profilePass(now float64, maxRes int) {
 		if g, ok := s.cfg.Policy.BackfillGear(j, now, qlen-1, feasible); ok && feasible(g) {
 			s.start(j, g, now)
 			qlen--
-			prof.Add(profile.Entry{Start: now, End: now + s.reqDur(j, g), CPUs: j.Procs})
+			if !incremental {
+				prof.Add(profile.Entry{Start: now, End: clampRelease(now+s.reqDur(j, g), now), CPUs: j.Procs})
+			}
 			continue
 		}
 		kept = append(kept, j)
 	}
 	s.setQueue(kept)
+	if incremental {
+		if s.profMut {
+			// A job started this pass: its occupancy changed the base
+			// every retained reservation was planned against, so the next
+			// pass must replan from the head.
+			s.profClean = 0
+			s.profMut = false
+		} else {
+			s.profClean = len(s.resvMeta)
+		}
+	}
 	s.cfg.Policy.PostPass(s, now)
+}
+
+// persistentProfile returns the across-pass availability profile, opening
+// a fresh epoch when needed: on first use, when a cached release time has
+// reached `now` (a fresh build would clamp it differently — the rare
+// kill-limit-exact case), or when accumulated credit history outgrew the
+// running set. An epoch load is O(running); every other pass reuses the
+// profile as-is.
+func (s *System) persistentProfile(now float64) *profile.Profile {
+	if s.prof == nil {
+		s.prof = profile.New(s.cl.Total())
+	}
+	rels := s.sortedReleases()
+	if !s.profLive || (len(rels) > 0 && rels[0].t <= now) || s.prof.BaseDeltas() > 4*len(rels)+256 {
+		buf := s.profRels[:0]
+		for _, r := range rels {
+			buf = append(buf, profile.Release{Time: clampRelease(r.t, now), CPUs: r.cpus})
+		}
+		s.profRels = buf
+		s.prof.StartEpoch(s.cl.Total(), now, buf)
+		// Re-anchor the credit bookkeeping: completions must hand back
+		// exactly the occupancy the epoch load recorded.
+		for _, rs := range s.runList {
+			if rs != nil {
+				rs.profEnd = clampRelease(rs.PlannedEnd, now)
+			}
+		}
+		s.profLive = true
+		s.profMut = false
+		s.profClean = 0
+		s.truncResvMeta(0)
+	}
+	s.prof.BeginPass(now)
+	return s.prof
+}
+
+// truncResvMeta drops the reservation metadata suffix, clearing the
+// abandoned entries so completed jobs don't linger reachable behind the
+// backing array's length (the same hygiene setQueue applies to the
+// queue).
+func (s *System) truncResvMeta(n int) {
+	for i := n; i < len(s.resvMeta); i++ {
+		s.resvMeta[i] = resvInfo{}
+	}
+	s.resvMeta = s.resvMeta[:n]
+}
+
+// cleanPrefix returns how many leading queue positions keep their
+// retained reservations verbatim this pass. A position is reusable when
+// nothing its plan depends on can have changed: the base skyline is
+// untouched since it was planned (no start, completion or gear switch —
+// profMut), every earlier position is reused, the queue still holds the
+// same job there, its planning inputs are still in the future (est at or
+// after now, start strictly after — otherwise the job must be considered
+// for starting), and the gear policy, re-asked with the same earliest
+// start but this pass's queue depth, still picks the same gear. The
+// first position that fails dirties everything after it, which the
+// caller replans.
+func (s *System) cleanPrefix(now float64, maxRes int) int {
+	limit := s.profClean
+	if s.profMut {
+		limit = 0
+	}
+	s.profMut = false
+	if limit > len(s.resvMeta) {
+		limit = len(s.resvMeta)
+	}
+	if limit > len(s.queue) {
+		limit = len(s.queue)
+	}
+	if limit > maxRes {
+		limit = maxRes
+	}
+	wq := len(s.queue) - 1
+	k := 0
+	for k < limit {
+		m := &s.resvMeta[k]
+		if s.queue[k] != m.job || m.est < now || m.start <= now {
+			break
+		}
+		if s.cfg.Policy.ReserveGear(m.job, m.est, now, wq) != m.gear {
+			break
+		}
+		k++
+	}
+	return k
 }
 
 // newRunState pops a recycled RunState (keeping its Alloc.Runs and
@@ -691,6 +852,16 @@ func (s *System) start(j *workload.Job, g dvfs.Gear, now float64) {
 	rs.phaseStart = now
 	rs.Reduced = !s.cfg.Gears.IsTop(g)
 	s.relAdd(rs)
+	if s.profLive {
+		// Keep the persistent profile's base skyline current: the new
+		// occupancy invalidates retained reservations (profMut). The
+		// clamp gives zero-duration jobs (ReqTime 0) a one-ulp occupancy:
+		// they hold their processors at `now` itself, so later placements
+		// in the same pass cannot over-commit the machine.
+		s.profMut = true
+		rs.profEnd = clampRelease(rs.PlannedEnd, now)
+		s.prof.Occupy(j.Procs, now, rs.profEnd)
+	}
 	h, err := s.engine.Schedule(rs.ActualEnd, sim.EvEnd, rs)
 	if err != nil {
 		panic(fmt.Sprintf("sched: scheduling completion of job %d: %v", j.ID, err))
@@ -712,6 +883,13 @@ func (s *System) finish(rs *RunState, now float64) {
 		panic(fmt.Sprintf("sched: release invariant broken for job %d: %v", rs.Job.ID, err))
 	}
 	s.relRemove(rs)
+	if s.profLive {
+		// Hand the planned occupancy tail back to the persistent profile:
+		// the job completed before its kill limit, so the skyline frees
+		// its processors from now on instead of at the planned end.
+		s.profMut = true
+		s.prof.Vacate(rs.Job.Procs, now, rs.profEnd)
+	}
 	if s.cfg.Compat.ScanRemoval {
 		for i, r := range s.runList {
 			if r == rs {
@@ -772,6 +950,13 @@ func (s *System) SetGear(rs *RunState, g dvfs.Gear, now float64) {
 	rs.ActualEnd = now + remWork*newCoef
 	rs.PlannedEnd = now + remReq*newCoef
 	s.relAdd(rs)
+	if s.profLive {
+		// Swap the job's planned occupancy for the re-geared one.
+		s.profMut = true
+		s.prof.Vacate(rs.Job.Procs, now, rs.profEnd)
+		s.prof.Occupy(rs.Job.Procs, now, rs.PlannedEnd)
+		rs.profEnd = rs.PlannedEnd
+	}
 	if !s.cfg.Gears.IsTop(g) {
 		rs.Reduced = true
 	}
