@@ -488,6 +488,73 @@ func BenchmarkConservativeMillionPreset(b *testing.B) {
 	}
 }
 
+// BenchmarkConservativeFullMillion replays the FULL Million preset — all
+// one million jobs, streamed so no trace slice exists — under
+// conservative backfilling, the replanning-heavy regime system-scale
+// power-management replays operate in. Two modes isolate the release-
+// index win on top of PR 5's persistent profile: "memmove" keeps the
+// (PlannedEnd, id)-sorted release cache as a flat slice whose inserts and
+// removes each move O(running jobs) entries (Compat.SliceReleases, the
+// PR 5 path); "optimized" is the chunked ordered release index, O(log n +
+// chunk) per mutation. Schedules are byte-identical across the modes
+// (TestCompatModesProduceIdenticalSchedules, the relindex differential
+// suite). The seed and rebuild modes are deliberately absent: at ~300
+// jobs/s the seed path would need close to an hour per iteration; their
+// ratios stay pinned at 10k/40k jobs by BenchmarkConservativeMillionPreset.
+// Results are recorded in BENCH_sched.json; cmd/benchgate gate 4 holds
+// the optimized/memmove ratio in CI.
+func BenchmarkConservativeFullMillion(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		compat sched.Compat
+	}{
+		{"memmove", sched.Compat{SliceReleases: true}},
+		{"optimized", sched.Compat{}},
+	} {
+		b.Run(fmt.Sprintf("jobs=%d/%s", wgen.MillionJobs, mode.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				src, err := wgen.Stream(wgen.Million())
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err := runner.Run(runner.Spec{
+					Source:  src,
+					Variant: sched.Conservative,
+					Compat:  mode.compat,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Results.Jobs != wgen.MillionJobs {
+					b.Fatalf("completed %d jobs, want %d", out.Results.Jobs, wgen.MillionJobs)
+				}
+			}
+			b.ReportMetric(float64(wgen.MillionJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkConservativeTenMillion replays the full TenMillion preset
+// under conservative backfilling through the streaming pipeline —
+// replanning at the scale PR 4 opened for EASY. Optimized-only: the
+// memmove mode at this length is benchmarked at one million jobs above.
+func BenchmarkConservativeTenMillion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		src, err := wgen.Stream(wgen.TenMillion())
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := runner.Run(runner.Spec{Source: src, Variant: sched.Conservative})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Results.Jobs != wgen.TenMillionJobs {
+			b.Fatalf("completed %d jobs, want %d", out.Results.Jobs, wgen.TenMillionJobs)
+		}
+	}
+	b.ReportMetric(float64(wgen.TenMillionJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
 // tightGC prepares a heap-measuring benchmark: it drops the shared trace
 // cache (other benches' cached Million traces would otherwise sit in the
 // live set) and pins the GC growth target to 20%, so the measured

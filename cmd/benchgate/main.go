@@ -27,9 +27,19 @@
 // skyline-tree EarliestStart — the same way gate 1 holds the hot-path
 // win: as a same-host ratio that cancels runner hardware out.
 //
+// Gate 4 — release index: the conservative FULL-Million-preset
+// memmove-vs-optimized speedup ratio (BenchmarkConservativeFullMillion).
+// The baseline mode here is Compat.SliceReleases — the PR 5 flat release
+// cache whose O(running) memmove insert/remove dominated replanning
+// passes once the profile persisted — because the seed path is infeasible
+// at one million jobs (close to an hour per run). The ratio holds the
+// chunked ordered release index's win at system scale.
+//
+// Every gate disables via an empty benchmark name.
+//
 // Usage:
 //
-//	go test -run '^$' -bench 'HotPathSeedVsOptimized|StreamingMillionHeap|ConservativeMillionPreset' -benchtime 1x . | tee bench.out
+//	go test -run '^$' -bench 'HotPathSeedVsOptimized|StreamingMillionHeap|ConservativeMillionPreset|ConservativeFullMillion' -benchtime 1x . | tee bench.out
 //	go run ./cmd/benchgate -bench bench.out
 package main
 
@@ -69,11 +79,14 @@ func main() {
 		consBench   = flag.String("cons-benchmark", "BenchmarkConservativeMillionPreset", "replanning benchmark to gate on (empty disables the replanning gate)")
 		consJobs    = flag.Int("cons-jobs", 40_000, "Million-preset job count of the gated replanning sub-runs")
 		consRegress = flag.Float64("cons-max-regress", 0.20, "maximum allowed fractional drop of the replanning optimized/seed speedup")
+		idxBench    = flag.String("relindex-benchmark", "BenchmarkConservativeFullMillion", "release-index benchmark to gate on (empty disables the release-index gate)")
+		idxJobs     = flag.Int("relindex-jobs", 1_000_000, "job count of the gated full-preset replanning sub-runs")
+		idxRegress  = flag.Float64("relindex-max-regress", 0.20, "maximum allowed fractional drop of the optimized/memmove speedup")
 	)
 	flag.Parse()
 
 	if *benchmark != "" {
-		gateRatio("hot-path", *benchPath, *basePath, *benchmark, *jobs, *maxRegress)
+		gateRatio("hot-path", *benchPath, *basePath, *benchmark, *jobs, *maxRegress, "seed", "optimized")
 	}
 
 	if *heapBench != "" {
@@ -96,34 +109,38 @@ func main() {
 	}
 
 	if *consBench != "" {
-		gateRatio("replanning", *benchPath, *basePath, *consBench, *consJobs, *consRegress)
+		gateRatio("replanning", *benchPath, *basePath, *consBench, *consJobs, *consRegress, "seed", "optimized")
+	}
+
+	if *idxBench != "" {
+		gateRatio("release-index", *benchPath, *basePath, *idxBench, *idxJobs, *idxRegress, "memmove", "optimized")
 	}
 	fmt.Println("benchgate: ok")
 }
 
-// gateRatio holds one optimized/seed speedup ratio against the newest
+// gateRatio holds one optMode/baseMode speedup ratio against the newest
 // committed baseline of the given benchmark, failing the build when it
 // drops beyond the allowed fraction. Both sub-runs come from the same
 // bench invocation on the same host, so the ratio cancels runner
 // hardware out.
-func gateRatio(label, benchPath, basePath, benchmark string, jobs int, maxRegress float64) {
-	base, err := baselineRatio(basePath, benchmark, jobs)
+func gateRatio(label, benchPath, basePath, benchmark string, jobs int, maxRegress float64, baseMode, optMode string) {
+	base, err := baselineRatio(basePath, benchmark, jobs, baseMode, optMode)
 	if err != nil {
 		fatal(err)
 	}
 	prefix := fmt.Sprintf("%s/jobs=%d/", benchmark, jobs)
-	seed, err := measuredMetric(benchPath, prefix+"seed", "jobs/s")
+	ref, err := measuredMetric(benchPath, prefix+baseMode, "jobs/s")
 	if err != nil {
 		fatal(err)
 	}
-	opt, err := measuredMetric(benchPath, prefix+"optimized", "jobs/s")
+	opt, err := measuredMetric(benchPath, prefix+optMode, "jobs/s")
 	if err != nil {
 		fatal(err)
 	}
-	ratio := opt / seed
+	ratio := opt / ref
 	floor := base * (1 - maxRegress)
-	fmt.Printf("benchgate: %s optimized/seed speedup %.2fx (optimized %.0f, seed %.0f jobs/s); baseline %.2fx, floor %.2fx\n",
-		label, ratio, opt, seed, base, floor)
+	fmt.Printf("benchgate: %s %s/%s speedup %.2fx (%s %.0f, %s %.0f jobs/s); baseline %.2fx, floor %.2fx\n",
+		label, optMode, baseMode, ratio, optMode, opt, baseMode, ref, base, floor)
 	if ratio < floor {
 		fatal(fmt.Errorf("%s speedup regressed %.1f%% (> %.0f%% allowed): %.2fx < %.2fx",
 			label, 100*(1-ratio/base), 100*maxRegress, ratio, floor))
@@ -135,10 +152,10 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// baselineRatio returns optimized/seed jobs/s from the newest
+// baselineRatio returns optMode/baseMode jobs/s from the newest
 // BENCH_sched.json entry of the benchmark carrying both rows at the
 // given job count.
-func baselineRatio(path, benchmark string, jobs int) (float64, error) {
+func baselineRatio(path, benchmark string, jobs int, baseMode, optMode string) (float64, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return 0, err
@@ -151,23 +168,23 @@ func baselineRatio(path, benchmark string, jobs int) (float64, error) {
 		if bf.Entries[i].Benchmark != benchmark {
 			continue
 		}
-		var seed, opt float64
+		var ref, opt float64
 		for _, r := range bf.Entries[i].Results {
 			if r.Jobs != jobs {
 				continue
 			}
 			switch r.Mode {
-			case "seed":
-				seed = r.JobsPerS
-			case "optimized":
+			case baseMode:
+				ref = r.JobsPerS
+			case optMode:
 				opt = r.JobsPerS
 			}
 		}
-		if seed > 0 && opt > 0 {
-			return opt / seed, nil
+		if ref > 0 && opt > 0 {
+			return opt / ref, nil
 		}
 	}
-	return 0, fmt.Errorf("%s: no %s entry with seed+optimized rows at jobs=%d", path, benchmark, jobs)
+	return 0, fmt.Errorf("%s: no %s entry with %s+%s rows at jobs=%d", path, benchmark, baseMode, optMode, jobs)
 }
 
 // baselineHeapMB returns the peak_heap_mb of the newest BENCH_sched.json

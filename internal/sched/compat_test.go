@@ -63,10 +63,16 @@ func TestCompatModesProduceIdenticalSchedules(t *testing.T) {
 		return rec.starts, rec.ends
 	}
 	compats := map[string]Compat{
-		"seed":            SeedCompat(),
-		"stream-only":     {ScanRemoval: true, ScratchAlloc: true},
-		"tombstone-only":  {UpfrontArrivals: true, ScratchAlloc: true},
+		"seed":           SeedCompat(),
+		"stream-only":    {ScanRemoval: true, ScratchAlloc: true},
+		"tombstone-only": {UpfrontArrivals: true, ScratchAlloc: true},
+		// Rebuild-per-pass over the chunked index snapshot and over the
+		// flat slice: both must match the persistent-profile default.
 		"rebuild-profile": {RebuildProfile: true},
+		"rebuild-slice":   {RebuildProfile: true, SliceReleases: true},
+		// The PR 3–5 memmove-backed release cache, the differential
+		// reference for the chunked ordered release index.
+		"slice-releases": {SliceReleases: true},
 	}
 	for _, fx := range fixtures {
 		for pname, mk := range policies {

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"testing"
+)
+
+// FuzzReleaseIndex drives the chunked release index from an arbitrary
+// byte-encoded op stream and asserts its ordering, size and membership
+// invariants against the sorted-slice oracle after every mutation. Each
+// op consumes two bytes: the opcode selector and an argument. Inserts
+// draw the release time from the argument's low nibble (heavy ties) and
+// allocate a fresh id; removals target a live entry picked by the
+// argument, or probe an absent key. The seed corpus lives under
+// testdata/fuzz/FuzzReleaseIndex; CI runs a short -fuzz smoke on top of
+// the seeds.
+func FuzzReleaseIndex(f *testing.F) {
+	f.Add([]byte{})
+	// Insert ramp then FIFO drain.
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 1, 0, 1, 0, 1, 0, 1, 0})
+	// Tie-heavy inserts interleaved with targeted removals and probes.
+	f.Add([]byte{0, 0x11, 0, 0x11, 0, 0x11, 2, 7, 1, 1, 0, 0x11, 3, 5, 1, 0, 2, 0})
+	// Enough churn to split and re-merge chunks.
+	seed := make([]byte, 0, 1200)
+	for i := 0; i < 300; i++ {
+		seed = append(seed, 0, byte(i))
+	}
+	for i := 0; i < 150; i++ {
+		seed = append(seed, 1, byte(3*i))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ix relIndex
+		var o relOracle
+		var liveIDs []int
+		live := map[int]release{}
+		nextID := 1
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			switch op % 4 {
+			case 0: // insert a fresh release; low nibble times force ties
+				r := release{t: float64(arg & 0x0f), cpus: 1 + int(arg>>4), id: nextID}
+				ix.insert(r)
+				o.insert(r)
+				live[nextID] = r
+				liveIDs = append(liveIDs, nextID)
+				nextID++
+			case 1: // remove a live entry
+				if len(liveIDs) == 0 {
+					continue
+				}
+				k := int(arg) % len(liveIDs)
+				id := liveIDs[k]
+				r := live[id]
+				if !ix.remove(r.t, r.id) {
+					t.Fatalf("remove(%v,%d) missed a live entry", r.t, r.id)
+				}
+				if !o.remove(r.t, r.id) {
+					t.Fatalf("oracle desync at (%v,%d)", r.t, r.id)
+				}
+				delete(live, id)
+				liveIDs[k] = liveIDs[len(liveIDs)-1]
+				liveIDs = liveIDs[:len(liveIDs)-1]
+			case 2: // probe an absent key: must miss without mutating
+				tAbs := float64(arg & 0x0f)
+				if ix.remove(tAbs, nextID) {
+					t.Fatalf("remove(%v,%d) hit an absent key", tAbs, nextID)
+				}
+			case 3: // re-add a live entry at a new time (gear switch shape)
+				if len(liveIDs) == 0 {
+					continue
+				}
+				k := int(arg) % len(liveIDs)
+				id := liveIDs[k]
+				r := live[id]
+				if !ix.remove(r.t, r.id) || !o.remove(r.t, r.id) {
+					t.Fatalf("re-add lost (%v,%d)", r.t, r.id)
+				}
+				r.t = float64((arg >> 4) & 0x0f)
+				ix.insert(r)
+				o.insert(r)
+				live[id] = r
+			}
+			if ix.len() != len(o.rels) {
+				t.Fatalf("op %d: size %d, oracle %d", i/2, ix.len(), len(o.rels))
+			}
+			if err := checkRelIndexInvariants(&ix); err != nil {
+				t.Fatalf("op %d: %v", i/2, err)
+			}
+		}
+		// Final membership + order audit against the oracle.
+		k := 0
+		ix.each(func(r release) bool {
+			if r != o.rels[k] {
+				t.Fatalf("final order[%d] = %+v, oracle %+v", k, r, o.rels[k])
+			}
+			k++
+			return true
+		})
+		if k != len(o.rels) {
+			t.Fatalf("final iteration yielded %d entries, oracle %d", k, len(o.rels))
+		}
+		for _, r := range live {
+			mn, ok := ix.min()
+			if !ok {
+				t.Fatal("min reported empty with live entries")
+			}
+			if r.t < mn.t || (r.t == mn.t && r.id < mn.id) {
+				t.Fatalf("min %+v not minimal, live entry %+v precedes it", mn, r)
+			}
+		}
+	})
+}

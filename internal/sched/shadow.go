@@ -6,6 +6,7 @@ import (
 	"slices"
 	"sort"
 
+	"repro/internal/profile"
 	"repro/internal/workload"
 )
 
@@ -17,23 +18,9 @@ type release struct {
 	id   int
 }
 
-// sortedReleases returns the live run list's planned releases sorted by
-// (raw planned end, job ID). Under the replanning variants the cache is
-// maintained incrementally and is always current; under classic EASY it
-// is rebuilt here only when a start, completion or gear change
-// invalidated it — a blocked pass (an arrival that starts nothing)
-// reuses the previous sort outright, which is what keeps saturated
-// replays from rebuilding+sorting O(running jobs) state on every event.
-//
-// Times are stored unclamped; consumers clamp entries at or before `now`
-// to strictly-after-now on the fly. Clamping maps a prefix of the sorted
-// order onto one shared time point, and every consumer treats equal-time
-// releases as a single group, so the result is identical to the seed-era
-// clamp-then-sort order.
-func (s *System) sortedReleases() []release {
-	if !s.relDirty {
-		return s.relCache
-	}
+// collectReleases rebuilds the sorted release slice from the live run
+// list into the shared scratch cache and returns it.
+func (s *System) collectReleases() []release {
 	rels := s.relCache[:0]
 	for _, rs := range s.runList {
 		if rs == nil {
@@ -55,19 +42,95 @@ func (s *System) sortedReleases() []release {
 		return 0
 	})
 	s.relCache = rels
+	return rels
+}
+
+// sortedReleases returns the live run list's planned releases sorted by
+// (raw planned end, job ID) as a flat slice. Under the slice-backed
+// replanning variants (Compat.SliceReleases) the cache is maintained
+// incrementally and is always current; under classic EASY it is rebuilt
+// here only when a start, completion or gear change invalidated it — a
+// blocked pass (an arrival that starts nothing) reuses the previous sort
+// outright, which is what keeps saturated replays from rebuilding+sorting
+// O(running jobs) state on every event. Index-backed systems consume
+// releaseIndex instead.
+//
+// Times are stored unclamped; consumers clamp entries at or before `now`
+// to strictly-after-now on the fly. Clamping maps a prefix of the sorted
+// order onto one shared time point, and every consumer treats equal-time
+// releases as a single group, so the result is identical to the seed-era
+// clamp-then-sort order.
+func (s *System) sortedReleases() []release {
+	if !s.relDirty {
+		return s.relCache
+	}
+	rels := s.collectReleases()
 	s.relDirty = false
 	return rels
 }
 
+// releaseIndex returns the chunked ordered release index, rebuilding it
+// from the run list when a consumer arrives before incremental
+// maintenance began (New starts dirty so run lists assembled outside
+// start(), as white-box tests do, are picked up).
+func (s *System) releaseIndex() *relIndex {
+	if s.relDirty {
+		s.relIdx.load(s.collectReleases())
+		s.relDirty = false
+	}
+	return &s.relIdx
+}
+
+// releaseCount returns the number of live planned releases.
+func (s *System) releaseCount() int {
+	if s.relIndexed {
+		return s.releaseIndex().len()
+	}
+	return len(s.sortedReleases())
+}
+
+// minRelease returns the earliest (unclamped) planned release time.
+func (s *System) minRelease() (float64, bool) {
+	if s.relIndexed {
+		r, ok := s.releaseIndex().min()
+		return r.t, ok
+	}
+	rels := s.sortedReleases()
+	if len(rels) == 0 {
+		return 0, false
+	}
+	return rels[0].t, true
+}
+
+// appendClampedReleases appends the sorted release schedule, clamped
+// strictly after now, to buf — the bulk snapshot feeding the availability
+// profile's LoadReleases / StartEpoch.
+func (s *System) appendClampedReleases(buf []profile.Release, now float64) []profile.Release {
+	if s.relIndexed {
+		return s.releaseIndex().appendClamped(buf, now)
+	}
+	for _, r := range s.sortedReleases() {
+		buf = append(buf, profile.Release{Time: clampRelease(r.t, now), CPUs: r.cpus})
+	}
+	return buf
+}
+
 // relAdd registers a newly started (or re-geared) job's planned release:
-// an ordered insert when the cache is incrementally maintained, a dirty
-// mark otherwise.
+// an ordered insert when the schedule is incrementally maintained, a
+// dirty mark otherwise. A dirty index defers to the next consumer's
+// rebuild from the run list, which will already include this job.
 func (s *System) relAdd(rs *RunState) {
 	if !s.relIncremental {
 		s.relDirty = true
 		return
 	}
 	r := release{t: rs.PlannedEnd, cpus: rs.Job.Procs, id: rs.Job.ID}
+	if s.relIndexed {
+		if !s.relDirty {
+			s.relIdx.insert(r)
+		}
+		return
+	}
 	i := sort.Search(len(s.relCache), func(k int) bool {
 		c := s.relCache[k]
 		return c.t > r.t || (c.t == r.t && c.id > r.id)
@@ -78,22 +141,39 @@ func (s *System) relAdd(rs *RunState) {
 }
 
 // relRemove drops a finished (or about-to-be-re-geared) job's planned
-// release. rs.PlannedEnd must still hold the value relAdd registered.
-func (s *System) relRemove(rs *RunState) {
+// release. rs.PlannedEnd must still hold the value relAdd registered; a
+// release the schedule no longer knows is a scheduler invariant violation
+// reported as an error, which callers surface through Simulate's error
+// path via fail.
+func (s *System) relRemove(rs *RunState) error {
 	if !s.relIncremental {
 		s.relDirty = true
-		return
+		return nil
 	}
 	t, id := rs.PlannedEnd, rs.Job.ID
+	if s.relIndexed {
+		if !s.relDirty && !s.relIdx.remove(t, id) {
+			return lostReleaseError(id, t)
+		}
+		return nil
+	}
 	i := sort.Search(len(s.relCache), func(k int) bool {
 		c := s.relCache[k]
 		return c.t > t || (c.t == t && c.id >= id)
 	})
 	if i >= len(s.relCache) || s.relCache[i].t != t || s.relCache[i].id != id {
-		panic(fmt.Sprintf("sched: release schedule lost job %d (planned end %v)", id, t))
+		return lostReleaseError(id, t)
 	}
 	copy(s.relCache[i:], s.relCache[i+1:])
 	s.relCache = s.relCache[:len(s.relCache)-1]
+	return nil
+}
+
+// lostReleaseError reports a release schedule that lost track of a
+// running job — a broken scheduler invariant (or a caller mutating
+// PlannedEnd behind the schedule's back).
+func lostReleaseError(id int, t float64) error {
+	return fmt.Errorf("sched: release schedule lost job %d (planned end %v)", id, t)
 }
 
 // clampRelease keeps a release time strictly after now: a job at its kill
@@ -121,6 +201,9 @@ func (s *System) shadow(head *workload.Job, now float64) (float64, int) {
 	if s.cfg.Compat.ScratchAlloc {
 		return s.shadowSeed(head, now, avail)
 	}
+	if s.relIndexed {
+		return s.shadowIndexed(head, now, avail)
+	}
 	rels := s.sortedReleases()
 	shadowT := now
 	i := 0
@@ -133,6 +216,30 @@ func (s *System) shadow(head *workload.Job, now float64) (float64, int) {
 	// available when sizing the extra pool.
 	for ; i < len(rels) && clampRelease(rels[i].t, now) == shadowT; i++ {
 		avail += rels[i].cpus
+	}
+	return shadowT, avail - head.Procs
+}
+
+// shadowIndexed is the shadow sweep over the chunked release index: the
+// same two phases as the slice sweep — accumulate releases until the head
+// fits, then absorb the equal-time group at the shadow instant — fused
+// into one in-order walk of the chunks.
+func (s *System) shadowIndexed(head *workload.Job, now float64, avail int) (float64, int) {
+	shadowT := now
+	grouping := avail >= head.Procs
+	for _, ch := range s.releaseIndex().chunks {
+		for _, r := range ch {
+			if grouping {
+				if clampRelease(r.t, now) != shadowT {
+					return shadowT, avail - head.Procs
+				}
+				avail += r.cpus
+				continue
+			}
+			avail += r.cpus
+			shadowT = clampRelease(r.t, now)
+			grouping = avail >= head.Procs
+		}
 	}
 	return shadowT, avail - head.Procs
 }

@@ -115,12 +115,19 @@ type Compat struct {
 	// incremental-replanning win on its own (ScratchAlloc implies an even
 	// older per-entry rebuild).
 	RebuildProfile bool
+	// SliceReleases maintains the (PlannedEnd, id)-sorted release
+	// schedule of the replanning variants as a flat slice with O(running)
+	// memmove insert/remove (the PR 3–5 path) instead of the chunked
+	// ordered release index. Kept as the differentially-tested reference
+	// and to quantify the index win on its own.
+	SliceReleases bool
 }
 
 // SeedCompat returns the full seed-era behavior: every hot-path
 // optimization disabled.
 func SeedCompat() Compat {
-	return Compat{UpfrontArrivals: true, ScanRemoval: true, ScratchAlloc: true, RebuildProfile: true}
+	return Compat{UpfrontArrivals: true, ScanRemoval: true, ScratchAlloc: true,
+		RebuildProfile: true, SliceReleases: true}
 }
 
 // Config assembles a simulated system.
@@ -171,18 +178,24 @@ type System struct {
 	fedJobs    int     // arrivals fed so far
 	lastSubmit float64 // monotonicity check over the stream
 	srcErr     error   // first streaming failure; aborts the run
+	invErr     error   // first scheduler invariant violation; aborts the run
 
-	// relCache holds the live jobs' planned releases sorted by
-	// (PlannedEnd, job ID). Under the profile-replanning variants
-	// (conservative, flexible EASY) it is maintained incrementally —
-	// binary-search insert/remove per start/completion/gear change —
-	// because every pass consumes it; under classic EASY it is rebuilt
-	// lazily (relDirty) only when a blocked pass actually needs the
-	// shadow sweep, since most events mutate the run list without ever
-	// consuming the schedule.
+	// The release schedule holds the live jobs' planned releases sorted
+	// by (PlannedEnd, job ID). Under the profile-replanning variants
+	// (conservative, flexible EASY) it is maintained incrementally per
+	// start/completion/gear change, because every pass consumes it: the
+	// chunked ordered index relIdx by default (O(log n + chunk) per
+	// mutation), the flat relCache slice with memmove insert/remove under
+	// Compat.SliceReleases (the differential reference). Under classic
+	// EASY the flat slice is rebuilt lazily (relDirty) only when a
+	// blocked pass actually needs the shadow sweep, since most events
+	// mutate the run list without ever consuming the schedule; relCache
+	// doubles as the sort scratch for index bulk loads.
 	relCache       []release
+	relIdx         relIndex
 	relDirty       bool
 	relIncremental bool
+	relIndexed     bool
 
 	// prof and profRels are per-system scratch reused across replanning
 	// passes: the availability profile and the clamped release schedule
@@ -239,6 +252,7 @@ func New(cfg Config) (*System, error) {
 	}
 	s.relIncremental = !cfg.Compat.ScratchAlloc &&
 		(cfg.Variant == Conservative || (cfg.Variant == EASY && cfg.Reservations > 1))
+	s.relIndexed = s.relIncremental && !cfg.Compat.SliceReleases
 	s.engine.NoPool = cfg.Compat.ScratchAlloc
 	if b, ok := cfg.Policy.(SystemBinder); ok {
 		b.Bind(s)
@@ -378,7 +392,7 @@ func (s *System) simulateSource(src workload.JobSource, trusted bool) error {
 	s.src = src
 	s.srcPtr, _ = src.(workload.PtrSource)
 	s.srcTrusted = trusted
-	s.fedJobs, s.lastSubmit, s.srcErr = 0, 0, nil
+	s.fedJobs, s.lastSubmit, s.srcErr, s.invErr = 0, 0, nil, nil
 	if s.cfg.Compat.UpfrontArrivals {
 		// Seed-era reference behavior: the whole workload enters the event
 		// heap before the run starts — O(trace) heap, kept for benchmarks.
@@ -400,6 +414,9 @@ func (s *System) simulateSource(src workload.JobSource, trusted bool) error {
 	s.engine.Run(s.dispatch)
 	if s.srcErr != nil {
 		return s.srcErr
+	}
+	if s.invErr != nil {
+		return s.invErr
 	}
 	if len(s.queue) > 0 || s.runningCount() > 0 {
 		return fmt.Errorf("sched: simulation drained with %d queued and %d running jobs",
@@ -485,6 +502,16 @@ func (s *System) dispatch(ev sim.Event) {
 	if o, ok := s.cfg.Recorder.(PassObserver); ok {
 		o.PassEnd(now, len(s.queue), s.cl.Busy())
 	}
+}
+
+// fail records a scheduler invariant violation and stops the engine; the
+// run surfaces the first one through Simulate/SimulateSource's error
+// return instead of crashing the process.
+func (s *System) fail(err error) {
+	if s.invErr == nil {
+		s.invErr = err
+	}
+	s.engine.Stop()
 }
 
 // PassObserver is an optional extension of Recorder: implementations
@@ -647,21 +674,16 @@ func (s *System) profilePass(now float64, maxRes int) {
 			prof.Add(profile.Entry{Start: now, End: clampRelease(rs.PlannedEnd, now), CPUs: rs.Job.Procs})
 		}
 	case s.cfg.Compat.RebuildProfile:
-		// Bulk-rebuild reference: load the cached sorted release schedule
-		// from scratch every pass. The clamp maps a prefix of the sorted
-		// order onto one shared point strictly after now, so the schedule
-		// stays sorted and the resulting step function is identical to
-		// the seed path's.
+		// Bulk-rebuild reference: load the sorted release schedule from
+		// scratch every pass (from the index or the compat slice). The
+		// clamp maps a prefix of the sorted order onto one shared point
+		// strictly after now, so the schedule stays sorted and the
+		// resulting step function is identical to the seed path's.
 		if s.prof == nil {
 			s.prof = profile.New(s.cl.Total())
 		}
-		rels := s.sortedReleases()
-		buf := s.profRels[:0]
-		for _, r := range rels {
-			buf = append(buf, profile.Release{Time: clampRelease(r.t, now), CPUs: r.cpus})
-		}
-		s.profRels = buf
-		s.prof.LoadReleases(s.cl.Total(), now, buf)
+		s.profRels = s.appendClampedReleases(s.profRels[:0], now)
+		s.prof.LoadReleases(s.cl.Total(), now, s.profRels)
 		prof = s.prof
 	default:
 		prof = s.persistentProfile(now)
@@ -746,14 +768,10 @@ func (s *System) persistentProfile(now float64) *profile.Profile {
 	if s.prof == nil {
 		s.prof = profile.New(s.cl.Total())
 	}
-	rels := s.sortedReleases()
-	if !s.profLive || (len(rels) > 0 && rels[0].t <= now) || s.prof.BaseDeltas() > 4*len(rels)+256 {
-		buf := s.profRels[:0]
-		for _, r := range rels {
-			buf = append(buf, profile.Release{Time: clampRelease(r.t, now), CPUs: r.cpus})
-		}
-		s.profRels = buf
-		s.prof.StartEpoch(s.cl.Total(), now, buf)
+	minRel, hasRel := s.minRelease()
+	if !s.profLive || (hasRel && minRel <= now) || s.prof.BaseDeltas() > 4*s.releaseCount()+256 {
+		s.profRels = s.appendClampedReleases(s.profRels[:0], now)
+		s.prof.StartEpoch(s.cl.Total(), now, s.profRels)
 		// Re-anchor the credit bookkeeping: completions must hand back
 		// exactly the occupancy the epoch load recorded.
 		for _, rs := range s.runList {
@@ -882,7 +900,13 @@ func (s *System) finish(rs *RunState, now float64) {
 	if err := s.cl.Release(rs.Alloc, now); err != nil {
 		panic(fmt.Sprintf("sched: release invariant broken for job %d: %v", rs.Job.ID, err))
 	}
-	s.relRemove(rs)
+	if err := s.relRemove(rs); err != nil {
+		// The release schedule lost this job (a corrupted PlannedEnd):
+		// abort the run and surface the error rather than continuing on
+		// an inconsistent schedule.
+		s.fail(err)
+		return
+	}
 	if s.profLive {
 		// Hand the planned occupancy tail back to the persistent profile:
 		// the job completed before its kill limit, so the skyline frees
@@ -928,7 +952,10 @@ func (s *System) SetGear(rs *RunState, g dvfs.Gear, now float64) {
 	if g == rs.Gear {
 		return
 	}
-	s.relRemove(rs) // the schedule holds the old PlannedEnd
+	if err := s.relRemove(rs); err != nil { // the schedule holds the old PlannedEnd
+		s.fail(err)
+		return
+	}
 	oldCoef := s.Coef(rs.Job, rs.Gear)
 	dur := now - rs.phaseStart
 	if dur > 0 {
