@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sweep"
 	"repro/internal/textplot"
@@ -553,6 +554,60 @@ func BenchmarkConservativeTenMillion(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(wgen.TenMillionJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkScenarioConcurrentReplay replays one shared compiled Million
+// scenario from 8 goroutines at once: the scenario layer's contract is
+// that a compiled scenario is immutable and goroutine-safe, so N
+// concurrent executions walk one workload arena through independent
+// cursors and must produce bit-identical Results (asserted inside the
+// benchmark; the -race CI job runs the equivalent correctness test in
+// internal/scenario). The reported jobs/s is the aggregate across the 8
+// replicas — the what-if server's throughput model for a cache-cold
+// burst of identical queries. Results are recorded in BENCH_sched.json.
+func BenchmarkScenarioConcurrentReplay(b *testing.B) {
+	const replicas = 8
+	sc, err := scenario.Compile(scenario.Spec{
+		Workload:    "Million",
+		Materialize: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !sc.ConcurrentSafe() {
+		b.Fatal("compiled scenario not concurrent-safe")
+	}
+	jobs := sc.Jobs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs := make([]runner.Outcome, replicas)
+		var wg sync.WaitGroup
+		for r := 0; r < replicas; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				out, err := sc.Execute()
+				if err != nil {
+					b.Errorf("replica %d: %v", r, err)
+					return
+				}
+				outs[r] = out
+			}(r)
+		}
+		wg.Wait()
+		if b.Failed() {
+			b.FailNow()
+		}
+		for r := 1; r < replicas; r++ {
+			if outs[r].Results != outs[0].Results {
+				b.Fatalf("replica %d diverged from replica 0", r)
+			}
+		}
+		if outs[0].Results.Jobs != jobs {
+			b.Fatalf("completed %d jobs, want %d", outs[0].Results.Jobs, jobs)
+		}
+	}
+	b.ReportMetric(float64(replicas*jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 // tightGC prepares a heap-measuring benchmark: it drops the shared trace

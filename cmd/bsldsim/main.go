@@ -79,14 +79,13 @@ func runConfig(path string, verbose, asJSON bool, dump string) error {
 		return err
 	}
 	spec.KeepCollector = verbose || dump != ""
-	out, err := runner.Run(spec)
+	// Compile once; the policy and baseline legs share the compiled
+	// workload arena.
+	sc, err := runner.Compile(spec)
 	if err != nil {
 		return err
 	}
-	base := spec
-	base.Policy = nil
-	base.KeepCollector = false
-	baseOut, err := runner.Run(base)
+	out, baseOut, err := sc.ExecutePair()
 	if err != nil {
 		return err
 	}
@@ -99,7 +98,7 @@ func runConfig(path string, verbose, asJSON bool, dump string) error {
 			return err
 		}
 	}
-	return report(spec.Trace.Name, out, baseOut, spec.Variant, spec.Selection, sizeFactor, verbose, asJSON)
+	return report(spec.Trace.Name, sc.Hash(), out, baseOut, spec.Variant, spec.Selection, sizeFactor, verbose, asJSON)
 }
 
 // dumpRecords writes the per-job outcomes for offline analysis.
@@ -126,6 +125,7 @@ func dumpRecords(path string, out runner.Outcome) error {
 // jsonReport is the machine-readable form of one simulation outcome.
 type jsonReport struct {
 	Workload       string  `json:"workload"`
+	ScenarioHash   string  `json:"scenario_hash"`
 	Jobs           int     `json:"jobs"`
 	CPUs           int     `json:"cpus"`
 	SizeFactor     float64 `json:"size_factor"`
@@ -200,13 +200,14 @@ func run(wl, swf string, cpus, jobs int, bsldThr float64, wqThr int, size, beta 
 		}
 		spec.Policy = pol
 	}
-	out, err := runner.Run(spec)
+	// Compile the spec once into an immutable scenario; the baseline leg
+	// reuses the compiled workload (a shared source is rewound between the
+	// two sequential executions).
+	sc, err := runner.Compile(spec)
 	if err != nil {
 		return err
 	}
-	// The baseline replays the same workload; runner.Run rewinds the
-	// shared source before each simulation.
-	base, err := runner.Run(runner.Spec{Trace: tr, Source: src, SizeFactor: size, Variant: v, Beta: beta})
+	out, base, err := sc.ExecutePair()
 	if err != nil {
 		return err
 	}
@@ -215,16 +216,17 @@ func run(wl, swf string, cpus, jobs int, bsldThr float64, wqThr int, size, beta 
 			return err
 		}
 	}
-	return report(name, out, base, v, selection, size, verbose, asJSON)
+	return report(name, sc.Hash(), out, base, v, selection, size, verbose, asJSON)
 }
 
 // report renders the outcome in either human or JSON form.
-func report(name string, out, base runner.Outcome, v sched.Variant,
+func report(name, hash string, out, base runner.Outcome, v sched.Variant,
 	selection cluster.Selection, size float64, verbose, asJSON bool) error {
 	r := out.Results
 	if asJSON {
 		rep := jsonReport{
-			Workload: name, Jobs: r.Jobs, CPUs: out.CPUs, SizeFactor: size,
+			Workload: name, ScenarioHash: hash,
+			Jobs: r.Jobs, CPUs: out.CPUs, SizeFactor: size,
 			Policy: out.Policy, Variant: v.String(),
 			AvgBSLD: r.AvgBSLD, AvgWaitSec: r.AvgWait, MaxWaitSec: r.MaxWait,
 			ReducedJobs: r.ReducedJobs, Utilization: r.Utilization, WindowSec: r.Window,

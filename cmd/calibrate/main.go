@@ -12,7 +12,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/sweep"
 	"repro/internal/wgen"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -29,13 +28,10 @@ func main() {
 	for _, m := range presets {
 		grid.Traces = append(grid.Traces, m.Name)
 	}
-	resolver := &sweep.Resolver{Trace: sweep.CachedLoader(func(name string) (*workload.Trace, error) {
-		m, err := wgen.Preset(name)
-		if err != nil {
-			return nil, err
-		}
-		return wgen.Generate(m)
-	})}
+	// Name-based resolution through the scenario compiler: each preset
+	// generates once at its native length (Jobs: 0) into a shared arena
+	// all five policy cells execute against.
+	resolver := &sweep.Resolver{Materialize: true}
 	results, err := sweep.Sweep(context.Background(), grid, resolver, nil)
 	if err != nil {
 		fail(err)

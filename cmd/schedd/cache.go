@@ -1,0 +1,77 @@
+package main
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a fixed-capacity LRU over scenario hashes. Every entry
+// is a fully rendered what-if answer: identical requests hash to the same
+// scenario, so one simulation serves every client that ever asks the same
+// question (the whole pipeline is deterministic — a cached answer is
+// bit-identical to a re-run).
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recently used
+	byKey map[string]*list.Element // hash → element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	val whatifResponse
+}
+
+// newResultCache returns an LRU holding up to cap entries; cap <= 0
+// disables caching (every Get misses, every Put is dropped).
+func newResultCache(cap int) *resultCache {
+	return &resultCache{
+		cap:   cap,
+		order: list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached answer for the hash, marking it most recently
+// used.
+func (c *resultCache) Get(key string) (whatifResponse, bool) {
+	if c.cap <= 0 {
+		return whatifResponse{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return whatifResponse{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores the answer under the hash, evicting the least recently used
+// entry when over capacity.
+func (c *resultCache) Put(key string, val whatifResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len is the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

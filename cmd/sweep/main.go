@@ -57,7 +57,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	resolver := &sweep.Resolver{Trace: sweep.CachedLoader(loader(*jobs))}
+	// Names resolve through the scenario compiler's shared arena cache:
+	// each preset generates (or each SWF file parses) exactly once and
+	// every grid cell over it executes against the shared immutable
+	// result.
+	resolver := &sweep.Resolver{Jobs: *jobs, Materialize: true}
 	if *stream {
 		// One independent source per run: workers regenerate instead of
 		// sharing a materialized slice. For wgen presets the results are
@@ -103,14 +107,6 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sweep:", err)
 	os.Exit(1)
-}
-
-// loader resolves trace names through wgen's shared resolution: presets
-// at the requested segment length, or SWF files by path.
-func loader(jobs int) func(name string) (*workload.Trace, error) {
-	return func(name string) (*workload.Trace, error) {
-		return wgen.ResolveTrace(name, 0, jobs, workload.SWFFilter{})
-	}
 }
 
 // sourceLoader resolves trace names to independent streaming sources:

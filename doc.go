@@ -17,6 +17,25 @@
 // cmd/sweep CLI (JSON/flag-defined grids, CSV or JSON results) all drive
 // their simulations through that pool.
 //
+// # Scenarios
+//
+// Every run flows through internal/scenario: a Spec (workload name or
+// pre-built source, gear policy as data, machine size, platform
+// overrides) compiles into an immutable, goroutine-safe Scenario — the
+// workload resolved once into a shared arena (SWF logs parse once,
+// presets generate once, streamed presets clone independent RNG cursors
+// from one summed prototype), every default filled in, and a canonical
+// SHA-256 content hash identifying the run. Compile once, Execute many:
+// N goroutines executing one shared scenario produce bit-identical
+// metrics.Results (stateful gear policies clone per execution through
+// sched.PolicyCloner). runner.Run/BaselinePair remain as thin adapters
+// over Compile+Execute for callers holding resolved objects; sweeps
+// compile grid points through a shared Compiler so arenas dedup across
+// cells; and cmd/schedd serves what-if queries over HTTP with an LRU
+// result cache keyed by the scenario hash, in-flight coalescing of
+// identical queries, a bounded simulation worker pool and graceful
+// drain on shutdown. See examples/whatif for the pattern end to end.
+//
 // # Scale
 //
 // The scheduler hot path is built for multi-million-job workloads (the

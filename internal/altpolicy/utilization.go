@@ -32,6 +32,7 @@ type UtilizationDriven struct {
 var (
 	_ sched.GearPolicy   = (*UtilizationDriven)(nil)
 	_ sched.SystemBinder = (*UtilizationDriven)(nil)
+	_ sched.PolicyCloner = (*UtilizationDriven)(nil)
 )
 
 // NewUtilizationDriven validates the bracket and returns the policy.
@@ -47,6 +48,13 @@ func NewUtilizationDriven(gears dvfs.GearSet, lowUtil, highUtil float64) (*Utili
 
 // Bind implements sched.SystemBinder.
 func (p *UtilizationDriven) Bind(sys *sched.System) { p.sys = sys }
+
+// ClonePolicy implements sched.PolicyCloner: the clone carries the same
+// bracket and gear set but no system binding, so every execution can bind
+// its own copy and concurrent runs never share the live-state pointer.
+func (p *UtilizationDriven) ClonePolicy() sched.GearPolicy {
+	return &UtilizationDriven{Gears: p.Gears, LowUtil: p.LowUtil, HighUtil: p.HighUtil}
+}
 
 // Name implements sched.GearPolicy.
 func (p *UtilizationDriven) Name() string {

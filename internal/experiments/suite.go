@@ -7,13 +7,11 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/dvfs"
 	"repro/internal/metrics"
-	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 	"repro/internal/wgen"
 	"repro/internal/workload"
@@ -54,11 +52,14 @@ type Suite struct {
 	jobs   int  // trace length (paper: 5000); smaller for quick tests
 	stream bool // stream workloads per cell instead of caching traces
 
+	// comp compiles cells into scenarios; its arena cache shares each
+	// workload (generated once when materializing, one stream prototype
+	// cloned per run when streaming) across every cell of the suite.
+	comp scenario.Compiler
+
 	mu     sync.Mutex
-	traces map[string]*workload.Trace
+	traces map[string]*workload.Trace // extension experiments' materialized copies
 	cells  map[Config]*Cell
-	gears  dvfs.GearSet
-	tm     dvfs.TimeModel
 }
 
 // NewSuite returns a suite simulating jobs-long trace segments; jobs <= 0
@@ -67,13 +68,10 @@ func NewSuite(jobs int) *Suite {
 	if jobs <= 0 {
 		jobs = wgen.StandardJobs
 	}
-	gears := dvfs.PaperGearSet()
 	return &Suite{
 		jobs:   jobs,
 		traces: make(map[string]*workload.Trace),
 		cells:  make(map[Config]*Cell),
-		gears:  gears,
-		tm:     dvfs.NewTimeModel(runner.DefaultBeta, gears),
 	}
 }
 
@@ -125,36 +123,18 @@ func (s *Suite) Cell(cfg Config) (*Cell, error) {
 	}
 	s.mu.Unlock()
 
-	spec := runner.Spec{SizeFactor: cfg.SizeFactor, KeepCollector: true}
-	if s.stream {
-		model, err := wgen.Preset(cfg.Workload)
-		if err != nil {
-			return nil, err
-		}
-		model.Jobs = s.jobs
-		src, err := wgen.Stream(model)
-		if err != nil {
-			return nil, err
-		}
-		spec.Source = src
-	} else {
-		tr, err := s.trace(cfg.Workload)
-		if err != nil {
-			return nil, err
-		}
-		spec.Trace = tr
+	sc, err := s.comp.Compile(scenario.Spec{
+		Workload:      cfg.Workload,
+		Jobs:          s.jobs,
+		Materialize:   !s.stream,
+		Policy:        scenario.PolicyConfig{BSLDThr: cfg.BSLDThr, WQThr: cfg.WQThr},
+		SizeFactor:    cfg.SizeFactor,
+		KeepCollector: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cell %+v: %w", cfg, err)
 	}
-	if !cfg.baseline() {
-		pol, err := core.NewPolicy(core.Params{
-			BSLDThreshold: cfg.BSLDThr,
-			WQThreshold:   cfg.WQThr,
-		}, s.gears, s.tm)
-		if err != nil {
-			return nil, err
-		}
-		spec.Policy = pol
-	}
-	out, err := runner.Run(spec)
+	out, err := sc.Execute()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: cell %+v: %w", cfg, err)
 	}
@@ -193,24 +173,9 @@ func (s *Suite) Prefetch(cfgs []Config, workers int) error {
 			uniq = append(uniq, c)
 		}
 	}
-	// Pre-generate traces serially: cheap, and avoids duplicate work.
-	// Streaming suites regenerate per cell and have nothing to warm.
-	if !s.stream {
-		names := make(map[string]bool)
-		for _, c := range uniq {
-			names[c.Workload] = true
-		}
-		sorted := make([]string, 0, len(names))
-		for n := range names {
-			sorted = append(sorted, n)
-		}
-		sort.Strings(sorted)
-		for _, n := range sorted {
-			if _, err := s.trace(n); err != nil {
-				return err
-			}
-		}
-	}
+	// No serial trace warming is needed: the compiler's arena cache
+	// resolves each distinct workload exactly once even when concurrent
+	// cells race on it.
 	pool := &sweep.Pool{Workers: workers}
 	return pool.ForEach(context.Background(), len(uniq), func(i int) error {
 		_, err := s.Cell(uniq[i])

@@ -1,24 +1,26 @@
 // Package runner wires a workload trace, a cluster configuration and a
 // gear policy into one simulation run and returns the aggregated metrics.
-// It is the single entry point the CLI tools, examples, experiments and
-// benchmarks share.
+// It is the legacy single-run entry point the CLI tools, examples,
+// experiments and benchmarks share; since the scenario layer landed it is
+// a thin adapter — Run compiles the Spec through scenario.Compile and
+// executes the result, byte-identically to the pre-scenario code path.
+// New code that executes one description many times (sweeps, servers)
+// should compile a scenario.Scenario directly and reuse it.
 package runner
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/dvfs"
-	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
 // DefaultBeta is the β of the execution time model the paper assumes for
 // all jobs.
-const DefaultBeta = 0.5
+const DefaultBeta = scenario.DefaultBeta
 
 // Spec describes one simulation run. Zero values select the paper's
 // defaults.
@@ -48,10 +50,21 @@ type Spec struct {
 	// Reservations is the EASY reservation depth (0/1 classic).
 	Reservations int
 
-	Gears      dvfs.GearSet     // nil → paper gear set
-	PowerModel *dvfs.PowerModel // nil → paper power model
-	Beta       float64          // 0 → DefaultBeta
-	ShortJobTh float64          // 0 → core.DefaultShortJobThreshold
+	Gears dvfs.GearSet // nil → paper gear set
+
+	// PowerModel overrides the paper's power model when non-nil.
+	PowerModel *dvfs.PowerModel
+
+	// Beta is the β of the execution time model. By legacy convention the
+	// zero value means "use DefaultBeta" — an explicit 0 cannot be
+	// expressed here; use scenario.Spec (whose *float64 Beta rejects
+	// non-positive values instead of masking them) if you need to
+	// distinguish unset from zero.
+	Beta float64
+	// ShortJobTh is Th of the BSLD formula. Zero means
+	// core.DefaultShortJobThreshold (600 s) by the same legacy
+	// convention; see Beta.
+	ShortJobTh float64
 
 	// KeepCollector retains per-job records in the outcome (needed for
 	// wait-time series, Figure 6).
@@ -67,124 +80,64 @@ type Spec struct {
 	Compat sched.Compat
 }
 
-// Outcome is the result of one run.
-type Outcome struct {
-	Results   metrics.Results
-	Collector *metrics.Collector // nil unless Spec.KeepCollector
-	Policy    string
-	CPUs      int
-	// PeakEvents is the high-water mark of the simulation event heap, a
-	// scale diagnostic: O(running jobs) on the optimized hot path versus
-	// O(trace) under Compat.UpfrontArrivals.
-	PeakEvents int
+// Outcome is the result of one run; it is the scenario layer's Outcome.
+type Outcome = scenario.Outcome
+
+// Compile resolves the legacy Spec into a compiled scenario, which can
+// then be executed any number of times (concurrently, when backed by a
+// Trace). Run and BaselinePair are Compile + Execute.
+func Compile(spec Spec) (*scenario.Scenario, error) {
+	if spec.Trace == nil && spec.Source == nil {
+		return nil, fmt.Errorf("runner: no workload input: set exactly one of Spec.Trace and Spec.Source")
+	}
+	if spec.Trace != nil && spec.Source != nil {
+		return nil, fmt.Errorf("runner: both Trace and Source set; choose one workload input")
+	}
+	ss := scenario.Spec{
+		Trace:          spec.Trace,
+		Source:         spec.Source,
+		GearPolicy:     spec.Policy,
+		SizeFactor:     spec.SizeFactor,
+		CPUs:           spec.CPUs,
+		Variant:        spec.Variant.String(),
+		Selection:      spec.Selection.String(),
+		Order:          spec.Order.String(),
+		Reservations:   spec.Reservations,
+		Gears:          spec.Gears,
+		PowerModel:     spec.PowerModel,
+		KeepCollector:  spec.KeepCollector,
+		ExtraRecorders: spec.ExtraRecorders,
+		Compat:         spec.Compat,
+	}
+	// Legacy zero-means-default: only forward explicitly set values; the
+	// scenario layer then rejects non-positive ones loudly.
+	if spec.Beta != 0 {
+		beta := spec.Beta
+		ss.Beta = &beta
+	}
+	if spec.ShortJobTh != 0 {
+		th := spec.ShortJobTh
+		ss.ShortJobTh = &th
+	}
+	return scenario.Compile(ss)
 }
 
 // Run executes the simulation described by spec.
 func Run(spec Spec) (Outcome, error) {
-	if spec.Trace == nil && spec.Source == nil {
-		return Outcome{}, fmt.Errorf("runner: nil trace")
-	}
-	if spec.Trace != nil && spec.Source != nil {
-		return Outcome{}, fmt.Errorf("runner: both Trace and Source set; choose one workload input")
-	}
-	gears := spec.Gears
-	if gears == nil {
-		gears = dvfs.PaperGearSet()
-	}
-	pm := spec.PowerModel
-	if pm == nil {
-		pm = dvfs.PaperPowerModel()
-	}
-	beta := spec.Beta
-	if beta == 0 {
-		beta = DefaultBeta
-	}
-	th := spec.ShortJobTh
-	if th == 0 {
-		th = core.DefaultShortJobThreshold
-	}
-	baseCPUs := 0
-	if spec.Trace != nil {
-		baseCPUs = spec.Trace.CPUs
-	} else {
-		baseCPUs = spec.Source.CPUs()
-	}
-	cpus := spec.CPUs
-	if cpus == 0 {
-		f := spec.SizeFactor
-		if f == 0 {
-			f = 1
-		}
-		if f <= 0 {
-			return Outcome{}, fmt.Errorf("runner: non-positive size factor %v", spec.SizeFactor)
-		}
-		cpus = int(math.Round(float64(baseCPUs) * f))
-	}
-	pol := spec.Policy
-	if pol == nil {
-		pol = sched.FixedGear{Gear: gears.Top()}
-	}
-	// Without KeepCollector the run only needs the aggregate Results, so
-	// the collector streams: no O(trace) record list is held alive.
-	col := metrics.NewStreamingCollector(pm, th)
-	if spec.KeepCollector {
-		col = metrics.NewCollector(pm, th)
-	}
-	var rec sched.Recorder = col
-	if len(spec.ExtraRecorders) > 0 {
-		rec = append(sched.MultiRecorder{col}, spec.ExtraRecorders...)
-	}
-	sys, err := sched.New(sched.Config{
-		CPUs:         cpus,
-		Gears:        gears,
-		TimeModel:    dvfs.NewTimeModel(beta, gears),
-		Policy:       pol,
-		Variant:      spec.Variant,
-		Recorder:     rec,
-		Selection:    spec.Selection,
-		Order:        spec.Order,
-		Reservations: spec.Reservations,
-		Compat:       spec.Compat,
-	})
+	sc, err := Compile(spec)
 	if err != nil {
 		return Outcome{}, err
 	}
-	if spec.Trace != nil {
-		err = sys.Simulate(spec.Trace)
-	} else {
-		err = sys.SimulateSource(spec.Source)
-	}
-	if err != nil {
-		return Outcome{}, err
-	}
-	start, end := col.Window()
-	busy := sys.Cluster().BusyCPUSeconds(end)
-	idle := sys.Cluster().IdleCPUSeconds(start, end)
-	out := Outcome{
-		Results:    col.Summarize(idle, busy, cpus),
-		Policy:     pol.Name(),
-		CPUs:       cpus,
-		PeakEvents: sys.PeakEvents(),
-	}
-	if spec.KeepCollector {
-		out.Collector = col
-	}
-	return out, nil
+	return sc.Execute()
 }
 
 // BaselinePair runs the spec once with its policy and once as the no-DVFS
 // baseline on the same machine size, returning (policy, baseline).
 // Normalized energies in the paper are always relative to such baselines.
 func BaselinePair(spec Spec) (Outcome, Outcome, error) {
-	withPolicy, err := Run(spec)
+	sc, err := Compile(spec)
 	if err != nil {
 		return Outcome{}, Outcome{}, err
 	}
-	base := spec
-	base.Policy = nil
-	baseline, err := Run(base)
-	if err != nil {
-		return Outcome{}, Outcome{}, err
-	}
-	return withPolicy, baseline, nil
+	return sc.ExecutePair()
 }

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/cluster"
@@ -293,5 +294,54 @@ func TestRunSelectionPassThrough(t *testing.T) {
 	if cont.Results.MeanAllocRuns > ff.Results.MeanAllocRuns {
 		t.Errorf("contiguous selection runs %v worse than first fit %v",
 			cont.Results.MeanAllocRuns, ff.Results.MeanAllocRuns)
+	}
+}
+
+// TestRunWorkloadErrorMessages pins both error branches of the workload
+// input check: no input names both fields (the old message blamed only
+// the trace), and a double input names the conflict.
+func TestRunWorkloadErrorMessages(t *testing.T) {
+	_, err := Run(Spec{})
+	if err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	for _, want := range []string{"Trace", "Source"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("no-workload error %q does not name Spec.%s", err, want)
+		}
+	}
+	tr := smallTrace(t)
+	_, err = Run(Spec{Trace: tr, Source: tr.Source()})
+	if err == nil {
+		t.Fatal("spec with both Trace and Source accepted")
+	}
+	if !strings.Contains(err.Error(), "both Trace and Source") {
+		t.Errorf("double-workload error %q does not name the conflict", err)
+	}
+}
+
+// TestCompileExposesScenario: the legacy Spec adapts onto a compiled
+// scenario whose direct execution is bit-identical to Run.
+func TestCompileExposesScenario(t *testing.T) {
+	tr := smallTrace(t)
+	spec := Spec{Trace: tr, Policy: bsldPolicy(t, 2, core.NoWQLimit)}
+	sc, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Hash() == "" || sc.CPUs() != 430 {
+		t.Fatalf("implausible scenario: hash %q cpus %d", sc.Hash(), sc.CPUs())
+	}
+	direct, err := sc.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Results != legacy.Results {
+		t.Fatalf("scenario execution diverged from Run:\n%+v\n%+v",
+			direct.Results, legacy.Results)
 	}
 }

@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// baselineDesc is the canonical policy descriptor of the no-DVFS
+// baseline.
+const baselineDesc = "noDVFS"
+
+// policyDescriptor canonicalizes a gear policy for hashing. The paper's
+// policy hashes its full parameter set — Name() alone ("bsld(2,16)")
+// omits Boost, StrictBackfillBSLD and ShortJobThreshold, which would make
+// distinct configurations collide. Other policy implementations fall back
+// to their Name with a marker recording that the descriptor may not cover
+// every knob.
+func policyDescriptor(p sched.GearPolicy) string {
+	switch pol := p.(type) {
+	case *core.Policy:
+		return fmt.Sprintf("core!%+v", pol.Params())
+	case sched.FixedGear:
+		return "fixed!" + pol.Gear.String()
+	default:
+		return "opaque!" + p.Name()
+	}
+}
+
+// contentHash computes the canonical scenario hash: SHA-256 over a
+// line-oriented canonical form covering everything that determines the
+// Results — the workload descriptor, the resolved machine size, the
+// scheduling options, gears, power model, β, Th and the policy
+// descriptor. Result-neutral knobs (KeepCollector, ExtraRecorders,
+// Materialize, Compat) are excluded: the verification spine proves them
+// byte-identical. Floats print with %g at full round-trip precision.
+func (s *Scenario) contentHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1\nworkload=%s\ncpus=%d\n", s.wdesc, s.cpus)
+	fmt.Fprintf(h, "variant=%s\nselection=%s\norder=%s\nreservations=%d\n",
+		s.variant, s.selection, s.order, s.reservations)
+	for _, g := range s.gears {
+		fmt.Fprintf(h, "gear=%.17g:%.17g\n", g.Freq, g.Voltage)
+	}
+	fmt.Fprintf(h, "pm=%.17g:%.17g:%.17g\n", s.pm.ACRunning, s.pm.ActivityRatio, s.pm.StaticFraction)
+	fmt.Fprintf(h, "beta=%.17g\nshortth=%.17g\n", s.beta, s.shortTh)
+	fmt.Fprintf(h, "policy=%s\n", s.policyDesc)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -32,6 +32,18 @@ type GearPolicy interface {
 	PostPass(sys *System, now float64)
 }
 
+// PolicyCloner is implemented by stateful gear policies (typically
+// SystemBinders) that can mint an unbound copy of themselves, so several
+// executions — concurrent ones in particular — never share mutable policy
+// state: each run clones the policy and binds the clone to its own
+// system. Stateless policies (core.Policy, FixedGear) don't need it; they
+// are safe to share as-is.
+type PolicyCloner interface {
+	// ClonePolicy returns an independent, unbound copy carrying the same
+	// configuration.
+	ClonePolicy() GearPolicy
+}
+
 // MultiRecorder fans lifecycle callbacks out to several recorders, so
 // metrics collection and auxiliary trackers (e.g. per-node occupancy for
 // the power-down baseline) can observe the same run.

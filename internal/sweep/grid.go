@@ -21,53 +21,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/dvfs"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
-// PolicyConfig selects the gear policy of one grid cell. The zero value is
-// the no-DVFS baseline (top gear for every job).
-type PolicyConfig struct {
-	// BSLDThr is the BSLD threshold of the paper's algorithm; 0 selects
-	// the baseline without DVFS.
-	BSLDThr float64 `json:"bsld_thr"`
-	// WQThr is the wait-queue threshold (core.NoWQLimit = "NO LIMIT");
-	// ignored for baselines.
-	WQThr int `json:"wq_thr"`
-	// Boost enables the §7 dynamic frequency boost above BoostWQ waiters.
-	Boost   bool `json:"boost,omitempty"`
-	BoostWQ int  `json:"boost_wq,omitempty"`
-}
-
-// Baseline reports whether the cell runs without DVFS.
-func (p PolicyConfig) Baseline() bool { return p.BSLDThr == 0 }
-
-// Label is a compact caption ("2/NO", "1.5/4", "noDVFS").
-func (p PolicyConfig) Label() string {
-	if p.Baseline() {
-		return "noDVFS"
-	}
-	wq := fmt.Sprint(p.WQThr)
-	if p.WQThr == core.NoWQLimit {
-		wq = "NO"
-	}
-	if p.Boost {
-		return fmt.Sprintf("%g/%s+boost%d", p.BSLDThr, wq, p.BoostWQ)
-	}
-	return fmt.Sprintf("%g/%s", p.BSLDThr, wq)
-}
-
-// validate reports the first problem with the policy axis value.
-func (p PolicyConfig) validate() error {
-	if p.Baseline() {
-		return nil
-	}
-	params := core.Params{
-		BSLDThreshold: p.BSLDThr, WQThreshold: p.WQThr,
-		Boost: p.Boost, BoostWQ: p.BoostWQ,
-	}
-	return params.Validate()
-}
+// PolicyConfig selects the gear policy of one grid cell. It is the
+// scenario layer's policy configuration — grid JSON, legacy sweeps and
+// what-if requests all share one shape. The zero value is the no-DVFS
+// baseline (top gear for every job).
+type PolicyConfig = scenario.PolicyConfig
 
 // Grid declares one sweep as a cross product of axes. Empty axes collapse
 // to a single default value (noted per field), so a Grid with only Traces
@@ -170,7 +133,7 @@ func (g Grid) Validate() error {
 	}
 	d := g.withDefaults()
 	for _, p := range d.Policies {
-		if err := p.validate(); err != nil {
+		if err := p.Validate(); err != nil {
 			return fmt.Errorf("sweep: policy %s: %w", p.Label(), err)
 		}
 	}
@@ -264,10 +227,16 @@ func (g Grid) Points() []Point {
 	return pts
 }
 
-// Resolver materializes Points into runner.Specs: it owns workload
-// loading and the gear/power model shared by every cell of a sweep.
+// Resolver materializes Points into compiled scenarios (or legacy
+// runner.Specs): it owns workload loading and the gear/power model shared
+// by every cell of a sweep. With neither a Trace nor a Source loader set,
+// Scenario resolves workload names through the scenario layer's shared
+// arena cache — SWF logs parse once, presets generate or stream once —
+// while the legacy Spec method still requires an explicit loader.
 type Resolver struct {
-	// Trace loads a workload by name. Required unless Source is set.
+	// Trace loads a workload by name. Optional: without it (and without
+	// Source) the Scenario method resolves names through the scenario
+	// compiler instead.
 	Trace func(name string) (*workload.Trace, error)
 	// Source, when set, takes precedence over Trace and loads the
 	// workload as a streaming source instead. It is invoked once per grid
@@ -284,6 +253,18 @@ type Resolver struct {
 	Beta float64
 	// KeepCollector retains per-job records in every outcome.
 	KeepCollector bool
+
+	// Jobs, SWFCPUs, Filter and Materialize parameterize name-based
+	// workload resolution (loader-less Scenario calls only): they are the
+	// scenario.Spec fields of the same names.
+	Jobs        int
+	SWFCPUs     int
+	Filter      workload.SWFFilter
+	Materialize bool
+
+	// comp is the shared scenario compiler: every cell of the sweep
+	// resolves workloads through one arena cache.
+	comp scenario.Compiler
 }
 
 // gears returns the effective gear set.
@@ -361,4 +342,51 @@ func (r *Resolver) Spec(p Point) (runner.Spec, error) {
 		spec.Policy = pol
 	}
 	return spec, nil
+}
+
+// Scenario compiles one grid point into an immutable scenario through
+// the resolver's shared compiler. A custom Trace loader feeds the
+// compiled scenario a shared arena; a custom Source loader becomes the
+// scenario's per-execution factory; with neither, the workload name
+// resolves through the compiler's own arena cache (parameterized by the
+// resolver's Jobs/SWFCPUs/Filter/Materialize), so every cell over the
+// same workload shares one parse/generation.
+func (r *Resolver) Scenario(p Point) (*scenario.Scenario, error) {
+	ss := scenario.Spec{
+		Policy:        p.Policy,
+		SizeFactor:    p.SizeFactor,
+		CPUs:          p.CPUs,
+		Variant:       p.Variant,
+		Selection:     p.Selection,
+		Order:         p.Order,
+		Reservations:  p.Reservations,
+		Gears:         r.Gears,
+		KeepCollector: r.KeepCollector,
+	}
+	if r.Beta != 0 {
+		beta := r.Beta
+		ss.Beta = &beta
+	}
+	switch {
+	case r.Source != nil:
+		load, name := r.Source, p.Trace
+		ss.Factory = func() (workload.JobSource, error) { return load(name) }
+	case r.Trace != nil:
+		tr, err := r.Trace(p.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: trace %q: %w", p.Trace, err)
+		}
+		ss.Trace = tr
+	default:
+		ss.Workload = p.Trace
+		ss.Jobs = r.Jobs
+		ss.SWFCPUs = r.SWFCPUs
+		ss.Filter = r.Filter
+		ss.Materialize = r.Materialize
+	}
+	sc, err := r.comp.Compile(ss)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: point %s: %w", p.Label(), err)
+	}
+	return sc, nil
 }

@@ -7,13 +7,17 @@ import (
 	"sync/atomic"
 
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
-// Run pairs a grid point with its resolved spec, ready for execution.
+// Run pairs a grid point with its resolved work, ready for execution: a
+// compiled scenario (preferred — Sweep produces these), or a legacy
+// runner.Spec when Scenario is nil.
 type Run struct {
-	Point Point
-	Spec  runner.Spec
+	Point    Point
+	Scenario *scenario.Scenario
+	Spec     runner.Spec
 }
 
 // Result is one executed cell. Err carries the per-run failure (or the
@@ -85,6 +89,8 @@ func (p *Pool) Execute(ctx context.Context, runs []Run) ([]Result, error) {
 				if err := ctx.Err(); err != nil {
 					r.Err = err
 					atomic.AddInt64(&skipped, 1)
+				} else if sc := runs[i].Scenario; sc != nil {
+					r.Outcome, r.Err = sc.Execute()
 				} else {
 					r.Outcome, r.Err = runner.Run(runs[i].Spec)
 				}
@@ -154,10 +160,11 @@ func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	return context.Cause(ctx)
 }
 
-// Sweep expands the grid, resolves every point and executes the runs on
-// the pool (a nil pool runs with defaults). Grid axis problems and trace
-// loading failures abort before any simulation starts; simulation errors
-// are captured per result.
+// Sweep expands the grid, compiles every point into a scenario through
+// the resolver's shared compiler and executes the runs on the pool (a nil
+// pool runs with defaults). Grid axis problems and workload
+// loading/compilation failures abort before any simulation starts;
+// simulation errors are captured per result.
 func Sweep(ctx context.Context, g Grid, r *Resolver, p *Pool) ([]Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -165,11 +172,11 @@ func Sweep(ctx context.Context, g Grid, r *Resolver, p *Pool) ([]Result, error) 
 	pts := g.Points()
 	runs := make([]Run, len(pts))
 	for i, pt := range pts {
-		spec, err := r.Spec(pt)
+		sc, err := r.Scenario(pt)
 		if err != nil {
 			return nil, err
 		}
-		runs[i] = Run{Point: pt, Spec: spec}
+		runs[i] = Run{Point: pt, Scenario: sc}
 	}
 	if p == nil {
 		p = &Pool{}

@@ -120,6 +120,18 @@ func (s *Source) rewind() {
 	s.i, s.t, s.submit = 0, 0, 0
 }
 
+// Clone returns an independent source over the same model. The clone
+// shares the construction-time aggregates (span, gap sum, cycle scale) —
+// so cloning is O(1) and never repeats the summing passes — and starts
+// rewind-pending with its own RNG cursors, making it safe to hand each
+// concurrent replay of one shared prototype its own clone.
+func (s *Source) Clone() *Source {
+	c := *s
+	c.attrRNG, c.gapRNG, c.drawUser = nil, nil, nil
+	c.i, c.t, c.submit = 0, 0, 0
+	return &c
+}
+
 // Name implements workload.JobSource.
 func (s *Source) Name() string { return s.m.Name }
 
