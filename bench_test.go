@@ -535,6 +535,49 @@ func BenchmarkConservativeFullMillion(b *testing.B) {
 	}
 }
 
+// BenchmarkControllerMillion measures the power-controller layer's
+// observe/decide overhead on the EASY Million replay: "off" runs without
+// a controller, "capped" runs the PI power-cap controller at CapFrac=1 —
+// the cap equals peak draw, so the controller meters the machine and runs
+// its control law every pass but never actuates (the neutrality tests in
+// internal/altpolicy prove the schedule is byte-identical, and the
+// Results are asserted identical across the modes here). The capped/off
+// jobs/s ratio is therefore pure controller-layer cost; cmd/benchgate
+// gate 5 holds it against BENCH_sched.json in CI.
+func BenchmarkControllerMillion(b *testing.B) {
+	const jobs = 1_000_000
+	var off *metrics.Results
+	for _, mode := range []string{"off", "capped"} {
+		b.Run(fmt.Sprintf("jobs=%d/%s", jobs, mode), func(b *testing.B) {
+			tr := benchTrace(b, "Million", jobs)
+			spec := runner.Spec{Trace: tr}
+			if mode == "capped" {
+				spec.Controller = scenario.ControllerConfig{CapFrac: 1}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last runner.Outcome
+			for i := 0; i < b.N; i++ {
+				out, err := runner.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Results.Jobs != jobs {
+					b.Fatalf("completed %d jobs, want %d", out.Results.Jobs, jobs)
+				}
+				last = out
+			}
+			b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+			if mode == "off" {
+				r := last.Results
+				off = &r
+			} else if off != nil && last.Results != *off {
+				b.Fatalf("capped replay diverged from controller-free:\n%+v\n%+v", last.Results, *off)
+			}
+		})
+	}
+}
+
 // BenchmarkConservativeTenMillion replays the full TenMillion preset
 // under conservative backfilling through the streaming pipeline —
 // replanning at the scale PR 4 opened for EASY. Optimized-only: the

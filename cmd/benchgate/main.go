@@ -35,11 +35,20 @@
 // at one million jobs (close to an hour per run). The ratio holds the
 // chunked ordered release index's win at system scale.
 //
+// Gate 5 — controller overhead: the EASY Million-preset capped-vs-off
+// throughput ratio (BenchmarkControllerMillion). The capped mode runs the
+// PI power-cap controller at CapFrac=1, where it meters and decides every
+// pass but never actuates, so the schedule is byte-identical and the
+// ratio isolates the power-controller layer's observe/decide cost. Like
+// the other ratios it cancels runner hardware out; a drop means the
+// controller hot path (O(1) metering, the control law, the gear-ceiling
+// walk) grew beyond its allowance.
+//
 // Every gate disables via an empty benchmark name.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'HotPathSeedVsOptimized|StreamingMillionHeap|ConservativeMillionPreset|ConservativeFullMillion' -benchtime 1x . | tee bench.out
+//	go test -run '^$' -bench 'HotPathSeedVsOptimized|StreamingMillionHeap|ConservativeMillionPreset|ConservativeFullMillion|ControllerMillion' -benchtime 1x . | tee bench.out
 //	go run ./cmd/benchgate -bench bench.out
 package main
 
@@ -82,6 +91,9 @@ func main() {
 		idxBench    = flag.String("relindex-benchmark", "BenchmarkConservativeFullMillion", "release-index benchmark to gate on (empty disables the release-index gate)")
 		idxJobs     = flag.Int("relindex-jobs", 1_000_000, "job count of the gated full-preset replanning sub-runs")
 		idxRegress  = flag.Float64("relindex-max-regress", 0.20, "maximum allowed fractional drop of the optimized/memmove speedup")
+		ctrlBench   = flag.String("ctrl-benchmark", "BenchmarkControllerMillion", "controller-overhead benchmark to gate on (empty disables the controller gate)")
+		ctrlJobs    = flag.Int("ctrl-jobs", 1_000_000, "Million-preset job count of the gated controller sub-runs")
+		ctrlRegress = flag.Float64("ctrl-max-regress", 0.20, "maximum allowed fractional drop of the capped/off throughput ratio")
 	)
 	flag.Parse()
 
@@ -114,6 +126,10 @@ func main() {
 
 	if *idxBench != "" {
 		gateRatio("release-index", *benchPath, *basePath, *idxBench, *idxJobs, *idxRegress, "memmove", "optimized")
+	}
+
+	if *ctrlBench != "" {
+		gateRatio("controller", *benchPath, *basePath, *ctrlBench, *ctrlJobs, *ctrlRegress, "off", "capped")
 	}
 	fmt.Println("benchgate: ok")
 }

@@ -12,6 +12,7 @@
 //	bsldsim -swf mytrace.swf -cpus 512 -bsld 2 -wq 0
 //	bsldsim -workload CTC -nodvfs            # EASY baseline
 //	bsldsim -workload TenMillion -stream     # 10M jobs, O(running jobs) memory
+//	bsldsim -workload CTC -cap-frac 0.7      # closed-loop power capping at 70% of peak
 package main
 
 import (
@@ -22,12 +23,14 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/altpolicy"
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dvfs"
 	"repro/internal/metrics"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/wgen"
 	"repro/internal/workload"
@@ -50,6 +53,11 @@ func main() {
 		noDVFS  = flag.Bool("nodvfs", false, "disable frequency scaling (baseline)")
 		strict  = flag.Bool("strict-backfill", false, "literal Figure 2 semantics: BSLD check gates backfills even at Ftop")
 		boost   = flag.Int("boost", -1, "dynamic boost extension: raise running reduced jobs to Ftop when more than N jobs wait; -1 disables")
+		capFrac = flag.Float64("cap-frac", 0, "power cap as a fraction of peak machine draw, in (0,1]; 0 disables the cap controller")
+		capKp   = flag.Float64("cap-kp", 0, "proportional gain of the cap controller (0 = default)")
+		capKi   = flag.Float64("cap-ki", 0, "integral gain of the cap controller (0 = default)")
+		capEco  = flag.Bool("cap-eco", false, "cap controller only throttles jobs carrying the eco opt-in flag")
+		ecoU    = flag.String("eco-users", "", "comma-separated SWF user IDs whose jobs opt into eco mode (\"*\" = all)")
 		verbose = flag.Bool("v", false, "print per-gear breakdown")
 		asJSON  = flag.Bool("json", false, "emit the report as JSON for downstream tooling")
 		cfgPath = flag.String("config", "", "JSON configuration file declaring platform, policy, machine and workload (overrides the other flags)")
@@ -60,7 +68,8 @@ func main() {
 	if *cfgPath != "" {
 		err = runConfig(*cfgPath, *verbose, *asJSON, *dump)
 	} else {
-		err = run(*wl, *swf, *cpus, *jobs, *bsldThr, *wqThr, *size, *beta, *variant, *sel, *stream, *noDVFS, *strict, *dropF, *boost, *verbose, *asJSON, *dump)
+		capCfg := scenario.ControllerConfig{CapFrac: *capFrac, Kp: *capKp, Ki: *capKi, EcoOnly: *capEco}
+		err = run(*wl, *swf, *cpus, *jobs, *bsldThr, *wqThr, *size, *beta, *variant, *sel, *stream, *noDVFS, *strict, *dropF, *boost, capCfg, *ecoU, *verbose, *asJSON, *dump)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bsldsim:", err)
@@ -124,27 +133,55 @@ func dumpRecords(path string, out runner.Outcome) error {
 
 // jsonReport is the machine-readable form of one simulation outcome.
 type jsonReport struct {
-	Workload       string  `json:"workload"`
-	ScenarioHash   string  `json:"scenario_hash"`
-	Jobs           int     `json:"jobs"`
-	CPUs           int     `json:"cpus"`
-	SizeFactor     float64 `json:"size_factor"`
-	Policy         string  `json:"policy"`
-	Variant        string  `json:"variant"`
-	AvgBSLD        float64 `json:"avg_bsld"`
-	AvgWaitSec     float64 `json:"avg_wait_sec"`
-	MaxWaitSec     float64 `json:"max_wait_sec"`
-	ReducedJobs    int     `json:"reduced_jobs"`
-	Utilization    float64 `json:"utilization"`
-	WindowSec      float64 `json:"window_sec"`
-	CompEnergy     float64 `json:"comp_energy"`
-	TotalEnergyLow float64 `json:"total_energy_idle_low"`
-	NormComp       float64 `json:"normalized_comp_energy"`
-	NormTotalLow   float64 `json:"normalized_total_energy"`
+	Workload       string    `json:"workload"`
+	ScenarioHash   string    `json:"scenario_hash"`
+	Jobs           int       `json:"jobs"`
+	CPUs           int       `json:"cpus"`
+	SizeFactor     float64   `json:"size_factor"`
+	Policy         string    `json:"policy"`
+	Variant        string    `json:"variant"`
+	AvgBSLD        float64   `json:"avg_bsld"`
+	AvgWaitSec     float64   `json:"avg_wait_sec"`
+	MaxWaitSec     float64   `json:"max_wait_sec"`
+	ReducedJobs    int       `json:"reduced_jobs"`
+	Utilization    float64   `json:"utilization"`
+	WindowSec      float64   `json:"window_sec"`
+	CompEnergy     float64   `json:"comp_energy"`
+	TotalEnergyLow float64   `json:"total_energy_idle_low"`
+	NormComp       float64   `json:"normalized_comp_energy"`
+	NormTotalLow   float64   `json:"normalized_total_energy"`
+	PowerCap       *capStats `json:"power_cap,omitempty"`
+}
+
+// capStats is the JSON form of the power-cap controller's report.
+type capStats struct {
+	Cap        float64 `json:"cap"`
+	AvgDraw    float64 `json:"avg_draw"`
+	PeakDraw   float64 `json:"peak_draw"`
+	OverFrac   float64 `json:"over_cap_time_frac"`
+	OverEnergy float64 `json:"over_cap_energy"`
+	Actuations int     `json:"actuations"`
+	Passes     int     `json:"control_passes"`
+}
+
+// capReport extracts the controller statistics when the outcome carries a
+// power-cap controller (nil otherwise).
+func capReport(out runner.Outcome) *capStats {
+	pc, ok := out.Controller.(*altpolicy.PowerCap)
+	if !ok {
+		return nil
+	}
+	rep := pc.Report()
+	return &capStats{
+		Cap: rep.Cap, AvgDraw: rep.AvgDraw, PeakDraw: rep.PeakDraw,
+		OverFrac: rep.OverFrac, OverEnergy: rep.OverEnergy,
+		Actuations: rep.Actuations, Passes: rep.Passes,
+	}
 }
 
 func run(wl, swf string, cpus, jobs int, bsldThr float64, wqThr int, size, beta float64,
-	variant, sel string, stream, noDVFS, strict, dropFailed bool, boost int, verbose, asJSON bool, dump string) error {
+	variant, sel string, stream, noDVFS, strict, dropFailed bool, boost int,
+	capCfg scenario.ControllerConfig, ecoUsers string, verbose, asJSON bool, dump string) error {
 	var (
 		tr   *workload.Trace
 		src  workload.JobSource
@@ -152,13 +189,13 @@ func run(wl, swf string, cpus, jobs int, bsldThr float64, wqThr int, size, beta 
 		err  error
 	)
 	if stream {
-		src, err = loadSource(wl, swf, cpus, jobs, dropFailed)
+		src, err = loadSource(wl, swf, cpus, jobs, dropFailed, ecoUsers)
 		if err != nil {
 			return err
 		}
 		name = src.Name()
 	} else {
-		tr, err = loadTrace(wl, swf, cpus, jobs, dropFailed)
+		tr, err = loadTrace(wl, swf, cpus, jobs, dropFailed, ecoUsers)
 		if err != nil {
 			return err
 		}
@@ -181,7 +218,7 @@ func run(wl, swf string, cpus, jobs int, bsldThr float64, wqThr int, size, beta 
 	}
 
 	spec := runner.Spec{Trace: tr, Source: src, SizeFactor: size, Variant: v, Beta: beta,
-		Selection: selection, KeepCollector: verbose || dump != ""}
+		Selection: selection, Controller: capCfg, KeepCollector: verbose || dump != ""}
 	if !noDVFS {
 		gears := dvfs.PaperGearSet()
 		wq := wqThr
@@ -233,6 +270,7 @@ func report(name, hash string, out, base runner.Outcome, v sched.Variant,
 			CompEnergy: r.CompEnergy, TotalEnergyLow: r.TotalEnergyLow,
 			NormComp:     r.CompEnergy / base.Results.CompEnergy,
 			NormTotalLow: r.TotalEnergyLow / base.Results.TotalEnergyLow,
+			PowerCap:     capReport(out),
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -248,6 +286,12 @@ func report(name, hash string, out, base runner.Outcome, v sched.Variant,
 	fmt.Printf("energy        computational %.4g   total(idle=low) %.4g\n", r.CompEnergy, r.TotalEnergyLow)
 	fmt.Printf("normalized    computational %.2f%%   total(idle=low) %.2f%%   (vs no-DVFS baseline)\n",
 		100*r.CompEnergy/base.Results.CompEnergy, 100*r.TotalEnergyLow/base.Results.TotalEnergyLow)
+	if cs := capReport(out); cs != nil {
+		fmt.Printf("power cap     %.4g   avg draw %.4g (%.1f%% of cap)   peak %.4g\n",
+			cs.Cap, cs.AvgDraw, 100*cs.AvgDraw/cs.Cap, cs.PeakDraw)
+		fmt.Printf("cap tracking  over cap %.2f%% of time   over-cap energy %.4g   %d regears over %d passes\n",
+			100*cs.OverFrac, cs.OverEnergy, cs.Actuations, cs.Passes)
+	}
 
 	if verbose && out.Collector != nil {
 		type agg struct {
@@ -305,16 +349,16 @@ func report(name, hash string, out, base runner.Outcome, v sched.Variant,
 // simulation holds O(running jobs) memory instead of the whole trace.
 // An explicit -swf path is loaded as a file whatever its extension;
 // otherwise wgen's shared name resolution applies.
-func loadSource(wl, swf string, cpus, jobs int, dropFailed bool) (workload.JobSource, error) {
-	filter := workload.SWFFilter{DropFailed: dropFailed}
+func loadSource(wl, swf string, cpus, jobs int, dropFailed bool, ecoUsers string) (workload.JobSource, error) {
+	filter := workload.SWFFilter{DropFailed: dropFailed, EcoUsers: ecoUsers}
 	if swf != "" {
 		return workload.OpenSWFSource(swf, cpus, filter)
 	}
 	return wgen.ResolveSource(wl, cpus, jobs, filter)
 }
 
-func loadTrace(wl, swf string, cpus, jobs int, dropFailed bool) (*workload.Trace, error) {
-	filter := workload.SWFFilter{DropFailed: dropFailed}
+func loadTrace(wl, swf string, cpus, jobs int, dropFailed bool, ecoUsers string) (*workload.Trace, error) {
+	filter := workload.SWFFilter{DropFailed: dropFailed, EcoUsers: ecoUsers}
 	if swf != "" {
 		return workload.ParseSWFFile(swf, cpus, filter)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/altpolicy"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/wgen"
@@ -77,7 +78,18 @@ type whatifResponse struct {
 	CPUs      int             `json:"cpus"`
 	Policy    string          `json:"policy"`
 	Results   metrics.Results `json:"results"`
+	PowerCap  *capStats       `json:"power_cap,omitempty"`
 	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+// capStats reports the power-cap controller's tracking statistics for
+// capped scenarios (absent otherwise).
+type capStats struct {
+	Cap        float64 `json:"cap"`
+	AvgDraw    float64 `json:"avg_draw"`
+	PeakDraw   float64 `json:"peak_draw"`
+	OverFrac   float64 `json:"over_cap_time_frac"`
+	Actuations int     `json:"actuations"`
 }
 
 // errorResponse is the JSON error shape.
@@ -243,6 +255,13 @@ func (s *server) execute(r *http.Request, sc *scenario.Scenario) (whatifResponse
 		CPUs:     out.CPUs,
 		Policy:   out.Policy,
 		Results:  out.Results,
+	}
+	if pc, ok := out.Controller.(*altpolicy.PowerCap); ok {
+		rep := pc.Report()
+		f.resp.PowerCap = &capStats{
+			Cap: rep.Cap, AvgDraw: rep.AvgDraw, PeakDraw: rep.PeakDraw,
+			OverFrac: rep.OverFrac, Actuations: rep.Actuations,
+		}
 	}
 	s.cache.Put(key, f.resp)
 	return f.resp, nil

@@ -135,6 +135,39 @@ func TestWhatifDistinctPolicies(t *testing.T) {
 	}
 }
 
+// TestWhatifPowerCap checks a capped spec hashes apart from the uncapped
+// one and carries the controller's tracking stats in the response.
+func TestWhatifPowerCap(t *testing.T) {
+	s := newServer(serverConfig{Workers: 2, CacheSize: 8})
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+
+	capped := `{"workload": "CTC", "jobs": 300, "policy": {"bsld_thr": 2, "wq_thr": 4}, "controller": {"cap_frac": 0.6}}`
+	_, free, _ := postWhatif(t, ts, tinySpec)
+	status, cap, raw := postWhatif(t, ts, capped)
+	if status != http.StatusOK {
+		t.Fatalf("capped request: status %d\n%s", status, raw)
+	}
+	if cap.Hash == free.Hash {
+		t.Fatalf("capped and uncapped specs produced the same hash %q", cap.Hash)
+	}
+	if free.PowerCap != nil {
+		t.Fatalf("uncapped response carries cap stats: %+v", free.PowerCap)
+	}
+	if cap.PowerCap == nil {
+		t.Fatalf("capped response missing power_cap stats:\n%s", raw)
+	}
+	if cap.PowerCap.Cap <= 0 || cap.PowerCap.AvgDraw <= 0 {
+		t.Fatalf("implausible cap stats: %+v", cap.PowerCap)
+	}
+
+	// The cached answer keeps the stats.
+	_, again, _ := postWhatif(t, ts, capped)
+	if !again.Cached || again.PowerCap == nil || *again.PowerCap != *cap.PowerCap {
+		t.Fatalf("cache hit lost cap stats: cached=%t %+v", again.Cached, again.PowerCap)
+	}
+}
+
 func TestWhatifRejections(t *testing.T) {
 	s := newServer(serverConfig{Workers: 1, CacheSize: 8, MaxJobs: 1000})
 	ts := httptest.NewServer(s.mux())

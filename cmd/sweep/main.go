@@ -6,6 +6,7 @@
 // matching sweep.Grid, or from axis flags:
 //
 //	sweep -traces CTC,SDSC -bsld 1.5,2,3 -wq 0,4,16,NO -sizes 1,1.2 -format csv
+//	sweep -traces CTC -bsld 2 -caps 0,0.85,0.7 -format csv
 //
 // Trace names resolve to wgen presets (CTC, SDSC, SDSCBlue, LLNLThunder,
 // LLNLAtlas); names ending in .swf are parsed as SWF trace files. Results
@@ -44,6 +45,7 @@ func main() {
 		selections = flag.String("selections", "", "comma-separated selections: firstfit,contiguous,nextfit")
 		orders     = flag.String("orders", "", "comma-separated queue orders: fcfs,sjf")
 		res        = flag.String("res", "", "comma-separated EASY reservation depths")
+		caps       = flag.String("caps", "", "comma-separated power-cap fractions of peak draw (0 = uncapped)")
 		jobs       = flag.Int("jobs", wgen.StandardJobs, "trace segment length for presets; 0 = the model's native length (5000 for the paper presets, 1000000 for Million)")
 		stream     = flag.Bool("stream", false, "give every run an independent streaming source (presets regenerate lazily, SWF files are read incrementally) instead of sharing one materialized trace")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
@@ -53,7 +55,7 @@ func main() {
 	flag.Parse()
 
 	grid, err := buildGrid(*gridPath, *traces, *bsld, *wq, *sizes, *cpus,
-		*variants, *selections, *orders, *res)
+		*variants, *selections, *orders, *res, *caps)
 	if err != nil {
 		fatal(err)
 	}
@@ -118,7 +120,7 @@ func sourceLoader(jobs int) func(name string) (workload.JobSource, error) {
 }
 
 // buildGrid assembles the sweep grid from the JSON file or the axis flags.
-func buildGrid(gridPath, traces, bsld, wq, sizes, cpus, variants, selections, orders, res string) (sweep.Grid, error) {
+func buildGrid(gridPath, traces, bsld, wq, sizes, cpus, variants, selections, orders, res, caps string) (sweep.Grid, error) {
 	var g sweep.Grid
 	if gridPath != "" {
 		var r io.Reader = os.Stdin
@@ -166,6 +168,9 @@ func buildGrid(gridPath, traces, bsld, wq, sizes, cpus, variants, selections, or
 	g.Orders = splitList(orders)
 	if g.Reservations, err = parseInts(res); err != nil {
 		return g, fmt.Errorf("-res: %w", err)
+	}
+	if g.CapFracs, err = parseFloats(caps); err != nil {
+		return g, fmt.Errorf("-caps: %w", err)
 	}
 	return g, nil
 }
@@ -225,7 +230,7 @@ func parseWQs(s string) ([]int, error) {
 // csvHeader is the fixed column set of the CSV output.
 var csvHeader = []string{
 	"index", "trace", "policy", "size_factor", "cpus_override", "variant",
-	"selection", "order", "reservations", "cpus", "jobs", "avg_bsld",
+	"selection", "order", "reservations", "cap_frac", "cpus", "jobs", "avg_bsld",
 	"avg_wait_s", "max_wait_s", "reduced_jobs", "comp_energy",
 	"idle_energy", "total_energy_low", "utilization", "error",
 }
@@ -246,7 +251,7 @@ func writeCSV(w io.Writer, results []sweep.Result) error {
 		row := []string{
 			strconv.Itoa(p.Index), p.Trace, p.Policy.Label(), f(p.SizeFactor),
 			strconv.Itoa(p.CPUs), p.Variant, p.Selection, p.Order,
-			strconv.Itoa(p.Reservations), strconv.Itoa(r.Outcome.CPUs),
+			strconv.Itoa(p.Reservations), f(p.CapFrac), strconv.Itoa(r.Outcome.CPUs),
 			strconv.Itoa(m.Jobs), f(m.AvgBSLD), f(m.AvgWait), f(m.MaxWait),
 			strconv.Itoa(m.ReducedJobs), f(m.CompEnergy), f(m.IdleEnergy),
 			f(m.TotalEnergyLow), f(m.Utilization), errStr,

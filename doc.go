@@ -36,15 +36,47 @@
 // identical queries, a bounded simulation worker pool and graceful
 // drain on shutdown. See examples/whatif for the pattern end to end.
 //
+// # Power control
+//
+// Cluster-level power management is a first-class layer over the
+// per-job gear decision. sched.PowerController is the seam: a
+// controller binds to the System, observes it, and actuates running
+// jobs through SetGear at the end of every scheduling pass — composing
+// with, not replacing, the per-job sched.GearPolicy (a policy that
+// also implements the interface keeps its per-pass hook, e.g. the
+// paper's §7 dynamic boost, and an explicit cluster controller runs
+// after it: per-job boosting proposes, cluster-level enforcement
+// disposes). Observation is O(1): nodepower.Meter maintains the
+// instantaneous active draw and running energy integrals online from
+// start/finish/regear events, differentially tested against the
+// post-hoc nodepower.Evaluate replay. On this seam live
+// altpolicy.UtilizationDriven (the utilization-adaptive gear floor)
+// and altpolicy.PowerCap — closed-loop power capping: a velocity-form
+// PI controller moves a continuous gear-ceiling level on the
+// normalized cap error, clamping jobs to min(policy-chosen gear,
+// ceiling) and restoring them as headroom returns, with per-job
+// eco-mode consent (workload.Job.Eco, opted in via the workload
+// filter's EcoUsers hook — user IDs or "*" for all — which
+// workload.EcoSet applies uniformly to SWF logs and wgen presets,
+// materialized or streamed). The controller is data in scenario.Spec
+// (ControllerConfig: cap fraction, PI gains, eco-only), covered by the
+// canonical hash, swept as a grid axis (sweep.Grid.CapFracs), tabled
+// by the experiments suite (cap levels × BSLD thresholds), and served
+// by cmd/schedd (cap tracking stats ride the what-if response). A
+// controller-free or cap-disabled run is byte-identical to the
+// pre-controller path, and a cap at peak draw never actuates — both
+// pinned by determinism tests.
+//
 // # Scale
 //
 // The scheduler hot path is built for multi-million-job workloads (the
 // wgen Million and TenMillion presets; BENCH_sched.json tracks the
 // trajectory and CI's cmd/benchgate fails the build when any of the
 // gated speedup ratios — EASY optimized/seed, conservative
-// optimized/seed, conservative full-preset optimized/memmove — drops
-// more than 20%, or the streamed replay's peak heap grows more than
-// 20%, against it). Seven properties keep it fast and flat in memory:
+// optimized/seed, conservative full-preset optimized/memmove, the
+// power-controller capped/off overhead — drops more than 20%, or the
+// streamed replay's peak heap grows more than 20%, against it). Seven
+// properties keep it fast and flat in memory:
 //
 //   - Streaming workloads: workload.JobSource streams jobs one at a time
 //     end to end — wgen.Stream generates presets lazily from replayed

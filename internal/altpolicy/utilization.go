@@ -30,9 +30,9 @@ type UtilizationDriven struct {
 }
 
 var (
-	_ sched.GearPolicy   = (*UtilizationDriven)(nil)
-	_ sched.SystemBinder = (*UtilizationDriven)(nil)
-	_ sched.PolicyCloner = (*UtilizationDriven)(nil)
+	_ sched.GearPolicy      = (*UtilizationDriven)(nil)
+	_ sched.PowerController = (*UtilizationDriven)(nil)
+	_ sched.PolicyCloner    = (*UtilizationDriven)(nil)
 )
 
 // NewUtilizationDriven validates the bracket and returns the policy.
@@ -46,7 +46,9 @@ func NewUtilizationDriven(gears dvfs.GearSet, lowUtil, highUtil float64) (*Utili
 	return &UtilizationDriven{Gears: gears, LowUtil: lowUtil, HighUtil: highUtil}, nil
 }
 
-// Bind implements sched.SystemBinder.
+// Bind implements sched.PowerController: the policy reads live cluster
+// state, so sched.New hands it the system before the run (the policy is
+// auto-promoted to the controller seam).
 func (p *UtilizationDriven) Bind(sys *sched.System) { p.sys = sys }
 
 // ClonePolicy implements sched.PolicyCloner: the clone carries the same
@@ -101,5 +103,6 @@ func (p *UtilizationDriven) BackfillGear(j *workload.Job, now float64, wqOthers 
 	return dvfs.Gear{}, false
 }
 
-// PostPass implements sched.GearPolicy (no dynamic adjustment).
-func (p *UtilizationDriven) PostPass(sys *sched.System, now float64) {}
+// ControlPass implements sched.PowerController (no dynamic adjustment:
+// the utilization reading happens per job decision, not per pass).
+func (p *UtilizationDriven) ControlPass(sys *sched.System, now float64) {}

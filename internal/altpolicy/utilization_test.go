@@ -5,9 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dvfs"
-	"repro/internal/runner"
 	"repro/internal/sched"
-	"repro/internal/wgen"
 	"repro/internal/workload"
 )
 
@@ -79,37 +77,6 @@ func (c *gearCapture) JobStarted(rs *sched.RunState, now float64) {
 	c.gears[rs.Job.ID] = rs.Gear
 }
 func (c *gearCapture) JobFinished(rs *sched.RunState, now float64) {}
-
-// End to end through the runner: the policy saves energy on a lightly
-// loaded trace but, lacking the BSLD guard, is free to hurt slowdown.
-func TestUtilizationDrivenEndToEnd(t *testing.T) {
-	m := wgen.LLNLThunder()
-	m.Jobs = 600
-	tr, err := wgen.Generate(m)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gears := dvfs.PaperGearSet()
-	pol, err := NewUtilizationDriven(gears, 0.3, 0.9)
-	if err != nil {
-		t.Fatal(err)
-	}
-	base, err := runner.Run(runner.Spec{Trace: tr})
-	if err != nil {
-		t.Fatal(err)
-	}
-	out, err := runner.Run(runner.Spec{Trace: tr, Policy: pol})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if out.Results.CompEnergy >= base.Results.CompEnergy {
-		t.Errorf("utilization-driven policy saved nothing: %v vs %v",
-			out.Results.CompEnergy, base.Results.CompEnergy)
-	}
-	if out.Results.ReducedJobs == 0 {
-		t.Error("no jobs reduced")
-	}
-}
 
 // Regression: using the policy without Bind (anything that sidesteps the
 // sched.New binder hook, e.g. hand-rolled runner wiring) used to crash

@@ -184,9 +184,16 @@ func (p *Policy) BackfillGear(j *workload.Job, now float64, wqOthers int, feasib
 	return dvfs.Gear{}, false
 }
 
-// PostPass implements the dynamic boost extension when enabled: running
-// jobs at reduced gears are raised to Ftop while too many jobs wait.
-func (p *Policy) PostPass(sys *sched.System, now float64) {
+// Bind implements sched.PowerController. The policy is stateless across
+// passes, so there is nothing to retain; implementing the controller
+// interface is what routes ControlPass to the dynamic boost below (the
+// policy is auto-promoted to the controller seam by sched.New).
+func (p *Policy) Bind(*sched.System) {}
+
+// ControlPass implements the dynamic boost extension when enabled:
+// running jobs at reduced gears are raised to Ftop while too many jobs
+// wait.
+func (p *Policy) ControlPass(sys *sched.System, now float64) {
 	if !p.params.Boost || sys.QueueLen() <= p.params.BoostWQ {
 		return
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dvfs"
 	"repro/internal/nodepower"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -41,8 +42,9 @@ func extPolicy(params core.Params) (sched.GearPolicy, error) {
 
 // runAll executes the specs across the sweep pool and returns outcomes in
 // spec order; the first per-run failure aborts. Runs execute concurrently,
-// so a stateful gear policy (a sched.SystemBinder) must not be shared
-// between specs — stateless policies like core.Policy may be.
+// so a stateful gear policy (a sched.PowerController without a clone
+// seam) must not be shared between specs — stateless policies like
+// core.Policy may be.
 func runAll(specs []runner.Spec) ([]runner.Outcome, error) {
 	runs := make([]sweep.Run, len(specs))
 	for i, sp := range specs {
@@ -356,6 +358,75 @@ func ExtSeedSensitivity(s *Suite, replicas int) (textplot.Table, error) {
 			return fmt.Sprintf("%.2f±%.2f", sm.Mean(), sm.StdDev())
 		}
 		t.AddRow(w, ms(baseB), ms(savings), ms(penalty))
+	}
+	return t, nil
+}
+
+// ExtPowerCap crosses closed-loop power-cap levels with the policy's
+// BSLD threshold: the PI gear-ceiling controller (altpolicy.PowerCap)
+// holds the tracked draw under each cap while the threshold governs how
+// aggressively the per-job policy reduces on its own. Each threshold's
+// uncapped run anchors the BSLD-degradation and energy columns, the
+// paper-style trade-off read: capping buys a power bound with queue-time
+// currency.
+func ExtPowerCap(s *Suite, workloadName string) (textplot.Table, error) {
+	t := textplot.Table{
+		Title: fmt.Sprintf("Extension: closed-loop power capping × BSLD threshold (%s, WQ=NO, PI gear-ceiling controller)", workloadName),
+		Header: []string{"BSLDthr", "cap", "avg draw", "over-cap time", "regears",
+			"avgBSLD", "ΔBSLD", "energy vs uncapped"},
+		Note: "cap and avg draw are fractions of peak machine draw (all CPUs at Ftop); ΔBSLD and energy are relative to the same threshold uncapped",
+	}
+	spec0, err := extTrace(s, workloadName)
+	if err != nil {
+		return t, err
+	}
+	pm := dvfs.PaperPowerModel()
+	peak := float64(spec0.Trace.CPUs) * pm.Active(pm.Gears.Top())
+	thresholds := []float64{2, 5}
+	caps := []float64{0, 0.85, 0.7, 0.55}
+	var specs []runner.Spec
+	for _, thr := range thresholds {
+		pol, err := extPolicy(core.Params{BSLDThreshold: thr, WQThreshold: core.NoWQLimit})
+		if err != nil {
+			return t, err
+		}
+		for _, capf := range caps {
+			run := spec0
+			run.Policy = pol
+			if capf > 0 {
+				run.Controller = scenario.ControllerConfig{CapFrac: capf}
+			}
+			specs = append(specs, run)
+		}
+	}
+	outs, err := runAll(specs)
+	if err != nil {
+		return t, err
+	}
+	for i, thr := range thresholds {
+		uncapped := outs[i*len(caps)]
+		for j, capf := range caps {
+			out := outs[i*len(caps)+j]
+			if capf == 0 {
+				t.AddRow(fmt.Sprintf("%g", thr), "none", "-", "-", "0",
+					f2(out.Results.AvgBSLD), "-", pct(1))
+				continue
+			}
+			pc, ok := out.Controller.(*altpolicy.PowerCap)
+			if !ok {
+				return t, fmt.Errorf("experiments: capped run returned controller %T", out.Controller)
+			}
+			rep := pc.Report()
+			t.AddRow(
+				fmt.Sprintf("%g", thr),
+				fmt.Sprintf("%.2f", capf),
+				fmt.Sprintf("%.2f", rep.AvgDraw/peak),
+				pct(rep.OverFrac),
+				fmt.Sprint(rep.Actuations),
+				f2(out.Results.AvgBSLD),
+				f2(out.Results.AvgBSLD-uncapped.Results.AvgBSLD),
+				pct(out.Results.CompEnergy/uncapped.Results.CompEnergy))
+		}
 	}
 	return t, nil
 }

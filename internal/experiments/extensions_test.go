@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -79,7 +80,7 @@ func TestRunExtensionsRenders(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"dynamic frequency boost", "per-job β", "power-down"} {
+	for _, want := range []string{"dynamic frequency boost", "per-job β", "power-down", "power capping"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}
@@ -146,6 +147,41 @@ func TestExtPolicyComparison(t *testing.T) {
 				t.Errorf("%s: energy %v out of range", row[0], v)
 			}
 		}
+	}
+}
+
+func TestExtPowerCap(t *testing.T) {
+	s := NewSuite(400)
+	tb, err := ExtPowerCap(s, "CTC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 thresholds × 4 cap levels (uncapped anchor + 3 caps).
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[1] == "none" {
+			if row[4] != "0" {
+				t.Errorf("uncapped row reports %s regears", row[4])
+			}
+			continue
+		}
+		var capf, draw float64
+		if _, err := fmt.Sscanf(row[1], "%f", &capf); err != nil {
+			t.Fatalf("cap cell %q: %v", row[1], err)
+		}
+		if _, err := fmt.Sscanf(row[2], "%f", &draw); err != nil {
+			t.Fatalf("draw cell %q: %v", row[2], err)
+		}
+		// The controller holds the tracked draw near or under the cap
+		// (small overshoot from discrete gear levels, plus cell rounding).
+		if draw > capf*1.1+0.01 {
+			t.Errorf("thr=%s cap=%v: avg draw %v above cap", row[0], capf, draw)
+		}
+	}
+	if _, err := ExtPowerCap(s, "nosuch"); err == nil {
+		t.Error("unknown workload accepted")
 	}
 }
 

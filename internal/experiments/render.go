@@ -179,6 +179,11 @@ func RunExtensions(s *Suite, w io.Writer, csvDir string) error {
 		return fmt.Errorf("experiments: ext-seeds: %w", err)
 	}
 	artifacts = append(artifacts, artifact{"ext_seeds", seeds})
+	cap, err := ExtPowerCap(s, "CTC")
+	if err != nil {
+		return fmt.Errorf("experiments: ext-powercap: %w", err)
+	}
+	artifacts = append(artifacts, artifact{"ext_powercap", cap})
 	for _, a := range artifacts {
 		if _, err := fmt.Fprintf(w, "%s\n", a.table.Render()); err != nil {
 			return err

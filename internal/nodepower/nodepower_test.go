@@ -6,11 +6,15 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dvfs"
-	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/wgen"
 	"repro/internal/workload"
 )
+
+// defaultBeta mirrors scenario.DefaultBeta; importing it (or runner)
+// from an in-package test would close an import cycle now that the
+// scenario compiler builds on altpolicy and nodepower.
+const defaultBeta = 0.5
 
 func record(t *Tracker, ids []int, procs, start, end float64) {
 	rs := &sched.RunState{
@@ -209,7 +213,7 @@ func TestTrackerAgainstRealSimulation(t *testing.T) {
 	tracker := NewTracker(m.CPUs)
 	sys, err := sched.New(sched.Config{
 		CPUs: m.CPUs, Gears: gears,
-		TimeModel: dvfs.NewTimeModel(runner.DefaultBeta, gears),
+		TimeModel: dvfs.NewTimeModel(defaultBeta, gears),
 		Policy:    sched.FixedGear{Gear: gears.Top()},
 		Variant:   sched.EASY,
 		Recorder:  tracker,
@@ -251,7 +255,7 @@ func TestEvaluateConservation(t *testing.T) {
 	tracker := NewTracker(m.CPUs)
 	sys, _ := sched.New(sched.Config{
 		CPUs: m.CPUs, Gears: pm.Gears,
-		TimeModel: dvfs.NewTimeModel(runner.DefaultBeta, pm.Gears),
+		TimeModel: dvfs.NewTimeModel(defaultBeta, pm.Gears),
 		Policy:    sched.FixedGear{Gear: pm.Gears.Top()},
 		Variant:   sched.EASY,
 		Recorder:  tracker,

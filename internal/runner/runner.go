@@ -55,6 +55,11 @@ type Spec struct {
 	// PowerModel overrides the paper's power model when non-nil.
 	PowerModel *dvfs.PowerModel
 
+	// Controller configures the closed-loop power controller; the zero
+	// value runs without one (the pre-controller code path, hash
+	// included).
+	Controller scenario.ControllerConfig
+
 	// Beta is the β of the execution time model. By legacy convention the
 	// zero value means "use DefaultBeta" — an explicit 0 cannot be
 	// expressed here; use scenario.Spec (whose *float64 Beta rejects
@@ -105,6 +110,7 @@ func Compile(spec Spec) (*scenario.Scenario, error) {
 		Reservations:   spec.Reservations,
 		Gears:          spec.Gears,
 		PowerModel:     spec.PowerModel,
+		Controller:     spec.Controller,
 		KeepCollector:  spec.KeepCollector,
 		ExtraRecorders: spec.ExtraRecorders,
 		Compat:         spec.Compat,

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/altpolicy"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dvfs"
@@ -42,6 +43,7 @@ type arena struct {
 	once  sync.Once
 	trace *workload.Trace
 	proto *wgen.Source
+	eco   workload.EcoSet // stream-preset eco tagging, applied per cloned cursor
 	err   error
 }
 
@@ -116,9 +118,9 @@ func (c *Compiler) Compile(spec Spec) (*Scenario, error) {
 	case spec.GearPolicy != nil:
 		s.policy = spec.GearPolicy
 		s.policyDesc = policyDescriptor(spec.GearPolicy)
-		if _, binder := spec.GearPolicy.(sched.SystemBinder); binder {
+		if _, ctrl := spec.GearPolicy.(sched.PowerController); ctrl {
 			if _, cloner := spec.GearPolicy.(sched.PolicyCloner); !cloner {
-				// A Bind-style policy without a clone seam would share
+				// A system-bound policy without a clone seam would share
 				// mutable state across executions.
 				s.concurrent = false
 			}
@@ -132,6 +134,27 @@ func (c *Compiler) Compile(spec Spec) (*Scenario, error) {
 		s.policyDesc = policyDescriptor(pol)
 	default:
 		s.policyDesc = baselineDesc
+	}
+
+	// Power controller: a pre-built object wins over the data-level
+	// config; a zero ControllerConfig compiles no controller at all, so
+	// the cap-disabled path is the pre-controller path, hash included.
+	switch {
+	case spec.GearController != nil:
+		s.controller = spec.GearController
+		s.controllerDesc = controllerDescriptor(spec.GearController)
+		if _, cloner := spec.GearController.(sched.ControllerCloner); !cloner {
+			// Controllers are bound to their system; without a clone seam
+			// executions would share the bound state.
+			s.concurrent = false
+		}
+	case spec.Controller.Enabled():
+		ctrl, err := buildController(spec.Controller, gears, pm)
+		if err != nil {
+			return nil, err
+		}
+		s.controller = ctrl
+		s.controllerDesc = controllerDescriptor(ctrl)
 	}
 
 	baseCPUs, err := c.resolveWorkload(spec, s)
@@ -158,6 +181,24 @@ func (c *Compiler) Compile(spec Spec) (*Scenario, error) {
 
 	s.hash = s.contentHash()
 	return s, nil
+}
+
+// buildController compiles a data-level controller config. PI gain
+// defaults are resolved here, before hashing, so an explicit default
+// gain and an omitted one describe the same scenario.
+func buildController(cfg ControllerConfig, gears dvfs.GearSet, pm *dvfs.PowerModel) (sched.PowerController, error) {
+	switch cfg.Kind {
+	case "", "powercap":
+		kp, ki := cfg.Kp, cfg.Ki
+		if kp == 0 {
+			kp = altpolicy.DefaultKp
+		}
+		if ki == 0 {
+			ki = altpolicy.DefaultKi
+		}
+		return altpolicy.NewPowerCap(gears, pm, cfg.CapFrac, kp, ki, cfg.EcoOnly)
+	}
+	return nil, fmt.Errorf("scenario: unknown controller kind %q (powercap)", cfg.Kind)
 }
 
 // oneWorkloadInput enforces that exactly one of the four workload inputs
@@ -230,8 +271,8 @@ func (c *Compiler) resolveWorkload(spec Spec, s *Scenario) (int, error) {
 		s.adoptTrace(a.trace)
 		baseCPUs = a.trace.CPUs
 	} else {
-		proto := a.proto
-		s.factory = func() (workload.JobSource, error) { return proto.Clone(), nil }
+		proto, eco := a.proto, a.eco
+		s.factory = func() (workload.JobSource, error) { return workload.TagEco(proto.Clone(), eco), nil }
 		s.name = proto.Name()
 		s.jobCount = proto.Len()
 		baseCPUs = proto.CPUs()
@@ -260,7 +301,10 @@ func (c *Compiler) arena(k arenaKey) *arena {
 
 // resolve loads the named workload into the arena: SWF logs always parse
 // into a trace, presets generate a trace when materializing and a stream
-// prototype otherwise.
+// prototype otherwise. Presets honor the filter's EcoUsers hook exactly
+// like the SWF parsers ("*" opts in every job, user IDs match when the
+// model assigns a user pool); the filter is part of the arena key, so a
+// tagged trace never aliases an untagged one.
 func (a *arena) resolve(spec Spec) {
 	if strings.HasSuffix(spec.Workload, ".swf") {
 		a.trace, a.err = workload.ParseSWFFile(spec.Workload, spec.SWFCPUs, spec.Filter)
@@ -274,10 +318,19 @@ func (a *arena) resolve(spec Spec) {
 	if spec.Jobs > 0 {
 		m.Jobs = spec.Jobs
 	}
-	if spec.Materialize {
-		a.trace, a.err = wgen.Generate(m)
+	eco, err := spec.Filter.EcoSet()
+	if err != nil {
+		a.err = err
 		return
 	}
+	if spec.Materialize {
+		a.trace, a.err = wgen.Generate(m)
+		if a.err == nil {
+			eco.Tag(a.trace.Jobs)
+		}
+		return
+	}
+	a.eco = eco
 	a.proto, a.err = wgen.Stream(m)
 }
 

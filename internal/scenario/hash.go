@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"repro/internal/altpolicy"
 	"repro/internal/core"
 	"repro/internal/sched"
 )
@@ -30,6 +31,21 @@ func policyDescriptor(p sched.GearPolicy) string {
 	}
 }
 
+// controllerDescriptor canonicalizes a power controller for hashing,
+// with the same full-fidelity rule as policyDescriptor: the power-cap
+// controller hashes every result-relevant knob (resolved gains
+// included), other implementations fall back to Name with an opaque
+// marker.
+func controllerDescriptor(c sched.PowerController) string {
+	switch ctrl := c.(type) {
+	case *altpolicy.PowerCap:
+		return fmt.Sprintf("powercap!cap=%.17g|kp=%.17g|ki=%.17g|eco=%t",
+			ctrl.CapFrac, ctrl.Kp, ctrl.Ki, ctrl.EcoOnly)
+	default:
+		return "opaque!" + c.Name()
+	}
+}
+
 // contentHash computes the canonical scenario hash: SHA-256 over a
 // line-oriented canonical form covering everything that determines the
 // Results — the workload descriptor, the resolved machine size, the
@@ -48,5 +64,11 @@ func (s *Scenario) contentHash() string {
 	fmt.Fprintf(h, "pm=%.17g:%.17g:%.17g\n", s.pm.ACRunning, s.pm.ActivityRatio, s.pm.StaticFraction)
 	fmt.Fprintf(h, "beta=%.17g\nshortth=%.17g\n", s.beta, s.shortTh)
 	fmt.Fprintf(h, "policy=%s\n", s.policyDesc)
+	if s.controllerDesc != "" {
+		// Appended only when a controller is configured, so every
+		// controller-free scenario hashes exactly as it did before the
+		// controller layer existed (cache keys survive the upgrade).
+		fmt.Fprintf(h, "controller=%s\n", s.controllerDesc)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }

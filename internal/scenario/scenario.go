@@ -99,6 +99,43 @@ func (p PolicyConfig) params() core.Params {
 	}
 }
 
+// ControllerConfig selects a per-pass power controller as pure data —
+// the wire-format counterpart of Spec.GearController, the same way
+// PolicyConfig mirrors Spec.GearPolicy. The zero value disables the
+// control loop entirely: no controller is compiled, the canonical hash
+// is unchanged, and the run is byte-identical to a controller-free one.
+type ControllerConfig struct {
+	// Kind names the controller; "" and "powercap" select the PI
+	// power-cap controller (the only kind today).
+	Kind string `json:"kind,omitempty"`
+	// CapFrac is the power cap as a fraction of the machine's maximum
+	// draw (all processors active at the top gear), in (0, 1]. Zero
+	// disables the controller — cap-disabled and controller-free are the
+	// same run.
+	CapFrac float64 `json:"cap_frac,omitempty"`
+	// Kp and Ki override the PI gains (0 selects the defaults).
+	Kp float64 `json:"kp,omitempty"`
+	Ki float64 `json:"ki,omitempty"`
+	// EcoOnly restricts actuation to jobs carrying the Eco opt-in flag
+	// (see workload.SWFFilter.EcoUsers).
+	EcoOnly bool `json:"eco_only,omitempty"`
+}
+
+// Enabled reports whether the configuration compiles to a controller.
+func (c ControllerConfig) Enabled() bool { return c.CapFrac != 0 }
+
+// Label is a compact caption ("cap0.7", "cap0.7eco", "nocap").
+func (c ControllerConfig) Label() string {
+	if !c.Enabled() {
+		return "nocap"
+	}
+	eco := ""
+	if c.EcoOnly {
+		eco = "eco"
+	}
+	return fmt.Sprintf("cap%g%s", c.CapFrac, eco)
+}
+
 // Spec describes a run before compilation. The JSON-visible fields form
 // the data-level description cmd/schedd accepts over the wire and are the
 // ones the canonical hash covers; the `json:"-"` fields are escape
@@ -115,7 +152,9 @@ type Spec struct {
 	// SWFCPUs supplies the system size for .swf logs without a MaxProcs
 	// header (0 requires the header).
 	SWFCPUs int `json:"swf_cpus,omitempty"`
-	// Filter applies to .swf workloads only.
+	// Filter cleans .swf workloads (status-based drops); its EcoUsers
+	// hook additionally tags preset jobs ("*" opts in every job, user
+	// IDs match models with a user pool).
 	Filter workload.SWFFilter `json:"filter,omitempty"`
 	// Materialize generates preset workloads once into a shared trace
 	// arena instead of re-streaming from cloned RNG cursors: executions
@@ -142,6 +181,15 @@ type Spec struct {
 	// is stateful it should implement sched.PolicyCloner so concurrent
 	// executions do not share mutable state.
 	GearPolicy sched.GearPolicy `json:"-"`
+
+	// Controller selects the per-pass power controller as data; the zero
+	// value runs without one (byte-identical to the pre-controller path).
+	Controller ControllerConfig `json:"controller,omitempty"`
+	// GearController overrides Controller with a pre-built controller
+	// object. If it is stateful it should implement
+	// sched.ControllerCloner so concurrent executions do not share
+	// mutable state.
+	GearController sched.PowerController `json:"-"`
 
 	// SizeFactor scales the machine relative to the workload's original
 	// system (1.0 = original, 1.2 = "20% increased"). Zero means 1.0.
@@ -194,6 +242,11 @@ type Outcome struct {
 	// scale diagnostic: O(running jobs) on the optimized hot path versus
 	// O(trace) under Compat.UpfrontArrivals.
 	PeakEvents int
+	// Controller is the power controller instance this execution ran
+	// under (the per-execution clone for cloneable controllers), nil for
+	// controller-free runs. Callers downcast it for controller-specific
+	// reports, e.g. (*altpolicy.PowerCap).Report().
+	Controller sched.PowerController
 }
 
 // Scenario is a compiled, immutable run description. All fields are
@@ -229,6 +282,12 @@ type Scenario struct {
 	// paper's policy — Name() alone omits Boost/Strict/ShortJobTh).
 	policy     sched.GearPolicy
 	policyDesc string
+
+	// controller is nil for controller-free runs. controllerDesc is the
+	// canonical descriptor; empty when no controller is configured, so
+	// controller-free hashes are unchanged from the pre-controller era.
+	controller     sched.PowerController
+	controllerDesc string
 
 	keepCollector  bool
 	extraRecorders []sched.Recorder
@@ -269,10 +328,11 @@ func (s *Scenario) PolicyName() string {
 func (s *Scenario) Baseline() bool { return s.policy == nil }
 
 // ConcurrentSafe reports whether Execute may be called from multiple
-// goroutines at once. It is false only for the two escape hatches that
-// inject shared mutable state: a Spec.Source cursor, or ExtraRecorders
-// (shared observers). A stateful Spec.GearPolicy that does not implement
-// sched.PolicyCloner also clears it.
+// goroutines at once. It is false only for the escape hatches that
+// inject shared mutable state: a Spec.Source cursor, ExtraRecorders
+// (shared observers), a stateful Spec.GearPolicy without
+// sched.PolicyCloner, or a Spec.GearController without
+// sched.ControllerCloner.
 func (s *Scenario) ConcurrentSafe() bool { return s.concurrent }
 
 // NewSource hands the caller an independent cursor over the scenario's
@@ -293,15 +353,34 @@ func (s *Scenario) NewSource() (workload.JobSource, error) {
 
 // WithBaseline returns a derived scenario running the no-DVFS baseline on
 // the same workload and machine; everything else (including
-// KeepCollector) carries over. The workload arena/factory is shared, so
-// the pair never parses or generates twice.
+// KeepCollector) carries over. The power controller is dropped too: the
+// baseline is the uncontrolled top-gear reference the paper normalizes
+// against, so a capped scenario's pair reports cap cost against the
+// uncapped machine. The workload arena/factory is shared, so the pair
+// never parses or generates twice.
 func (s *Scenario) WithBaseline() *Scenario {
-	if s.policy == nil {
+	if s.policy == nil && s.controller == nil {
 		return s
 	}
 	b := *s
 	b.policy = nil
 	b.policyDesc = baselineDesc
+	b.controller = nil
+	b.controllerDesc = ""
+	b.hash = b.contentHash()
+	return &b
+}
+
+// WithoutController returns a derived scenario identical but for the
+// control loop, which is removed — the uncapped reference a capped run's
+// BSLD degradation is measured against.
+func (s *Scenario) WithoutController() *Scenario {
+	if s.controller == nil {
+		return s
+	}
+	b := *s
+	b.controller = nil
+	b.controllerDesc = ""
 	b.hash = b.contentHash()
 	return &b
 }
@@ -320,12 +399,27 @@ func (s *Scenario) executionPolicy() sched.GearPolicy {
 	return s.policy
 }
 
+// executionController resolves the power controller one execution will
+// use: nil for controller-free runs, a per-execution clone for stateful
+// controllers implementing sched.ControllerCloner, the shared controller
+// otherwise.
+func (s *Scenario) executionController() sched.PowerController {
+	if s.controller == nil {
+		return nil
+	}
+	if c, ok := s.controller.(sched.ControllerCloner); ok {
+		return c.CloneController()
+	}
+	return s.controller
+}
+
 // Execute runs the simulation the scenario describes. It never mutates
 // the scenario; on a ConcurrentSafe scenario any number of goroutines may
 // call it at once, and determinism makes every call return bit-identical
 // Results.
 func (s *Scenario) Execute() (Outcome, error) {
 	pol := s.executionPolicy()
+	ctrl := s.executionController()
 	// Without KeepCollector the run only needs the aggregate Results, so
 	// the collector streams: no O(trace) record list is held alive.
 	col := metrics.NewStreamingCollector(s.pm, s.shortTh)
@@ -334,6 +428,8 @@ func (s *Scenario) Execute() (Outcome, error) {
 	}
 	var rec sched.Recorder = col
 	if len(s.extraRecorders) > 0 {
+		// A fresh slice per execution: the shared extraRecorders backing
+		// array must never be appended into.
 		rec = append(sched.MultiRecorder{col}, s.extraRecorders...)
 	}
 	sys, err := sched.New(sched.Config{
@@ -343,6 +439,7 @@ func (s *Scenario) Execute() (Outcome, error) {
 		Policy:       pol,
 		Variant:      s.variant,
 		Recorder:     rec,
+		Controller:   ctrl,
 		Selection:    s.selection,
 		Order:        s.order,
 		Reservations: s.reservations,
@@ -375,6 +472,7 @@ func (s *Scenario) Execute() (Outcome, error) {
 		Policy:     pol.Name(),
 		CPUs:       s.cpus,
 		PeakEvents: sys.PeakEvents(),
+		Controller: ctrl,
 	}
 	if s.keepCollector {
 		out.Collector = col

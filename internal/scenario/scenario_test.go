@@ -297,10 +297,12 @@ func TestWithBaseline(t *testing.T) {
 	}
 }
 
-// boundPolicy is a Bind-style stateful policy without a clone seam.
+// boundPolicy is a stateful policy-cum-controller without a clone seam.
 type boundPolicy struct{ sched.FixedGear }
 
 func (boundPolicy) Bind(*sched.System) {}
+
+func (boundPolicy) ControlPass(*sched.System, float64) {}
 
 // clonablePolicy adds the seam, counting how often it is exercised.
 type clonablePolicy struct {
@@ -335,7 +337,8 @@ func TestConcurrentSafety(t *testing.T) {
 		t.Error("extra-recorder scenario must not be concurrent-safe")
 	}
 
-	// A SystemBinder without PolicyCloner shares mutable state.
+	// A controller-implementing policy without PolicyCloner shares
+	// mutable state.
 	s = ctcSpec()
 	s.GearPolicy = boundPolicy{}
 	if sc := compile(t, s); sc.ConcurrentSafe() {

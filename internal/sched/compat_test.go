@@ -37,7 +37,7 @@ func TestCompatModesProduceIdenticalSchedules(t *testing.T) {
 		// changed-prefix revalidation: a retained reservation may only be
 		// reused when re-asking the policy provably returns the same gear.
 		"varying": func() GearPolicy { return varyingPolicy{gears: gears} },
-		// The boosting policy re-gears running jobs from PostPass, so the
+		// The boosting policy re-gears running jobs from ControlPass, so the
 		// persistent profile must swap their base occupancies mid-epoch.
 		"boosting": func() GearPolicy { return boostingPolicy{gears: gears} },
 	}
@@ -135,8 +135,6 @@ func (p varyingPolicy) BackfillGear(j *workload.Job, now float64, wqOthers int, 
 	return dvfs.Gear{}, false
 }
 
-func (p varyingPolicy) PostPass(sys *System, now float64) {}
-
 // boostingPolicy starts everything at the lowest gear and raises running
 // reduced jobs to the top gear whenever more than two jobs wait — the
 // paper's dynamic boost shape — so gear switches (SetGear) hit the
@@ -160,7 +158,9 @@ func (p boostingPolicy) BackfillGear(j *workload.Job, now float64, wqOthers int,
 	return dvfs.Gear{}, false
 }
 
-func (p boostingPolicy) PostPass(sys *System, now float64) {
+func (p boostingPolicy) Bind(*System) {}
+
+func (p boostingPolicy) ControlPass(sys *System, now float64) {
 	if sys.QueueLen() <= 2 {
 		return
 	}
@@ -209,7 +209,8 @@ func (p orderAuditPolicy) BackfillGear(j *workload.Job, now float64, wq int, fea
 	g := dvfs.PaperGearSet().Top()
 	return g, feasible(g)
 }
-func (p orderAuditPolicy) PostPass(sys *System, now float64) {
+func (p orderAuditPolicy) Bind(*System) {}
+func (p orderAuditPolicy) ControlPass(sys *System, now float64) {
 	p.checker.passes++
 	running := sys.Running()
 	for i, rs := range running {

@@ -1,0 +1,50 @@
+package sched
+
+import "repro/internal/dvfs"
+
+// PowerController is the per-pass decision seam: where GearPolicy answers
+// "what gear should this job start at?", a controller answers "given the
+// cluster state right now, which running jobs should change gear?". It is
+// the observe–decide–actuate loop of closed-loop power management:
+//
+//   - Bind is called once by New, before the simulation starts, handing
+//     the controller the System it will observe and actuate (via SetGear,
+//     Running, QueueLen, Cluster, ...).
+//   - ControlPass runs after every scheduling pass — exactly the point
+//     where the retired GearPolicy.PostPass hook ran — and may adjust
+//     running jobs through System methods. The engine calls it after the
+//     pass's starts and backfills are placed, so the controller sees the
+//     post-decision state of the epoch.
+//
+// A controller that also implements Recorder (and optionally GearObserver)
+// is fed the run's lifecycle callbacks, which is how metering controllers
+// maintain O(1) online draw state without scanning the run list.
+//
+// Two controllers can be live at once: a GearPolicy implementing this
+// interface keeps its per-pass hook (the §7 boost) even when an explicit
+// Config.Controller is set, and the explicit controller runs after it —
+// per-job boosting proposes, cluster-level enforcement disposes.
+type PowerController interface {
+	Name() string
+	Bind(sys *System)
+	ControlPass(sys *System, now float64)
+}
+
+// ControllerCloner is implemented by stateful controllers that can mint
+// an unbound copy of themselves, so several executions — concurrent ones
+// in particular — never share mutable controller state. It is the
+// controller-seam analogue of PolicyCloner.
+type ControllerCloner interface {
+	// CloneController returns an independent, unbound copy carrying the
+	// same configuration.
+	CloneController() PowerController
+}
+
+// GearObserver is an optional extension of Recorder: implementations are
+// notified when a running job switches gear (SetGear), completing the
+// lifecycle triple {JobStarted, JobRegeared, JobFinished} that online
+// power accounting needs for O(1) draw updates. The callback fires after
+// the switch: rs.Gear is the new gear, old the one it left.
+type GearObserver interface {
+	JobRegeared(rs *RunState, old dvfs.Gear, now float64)
+}

@@ -29,7 +29,9 @@ func (p *corruptingPolicy) BackfillGear(j *workload.Job, now float64, wq int, fe
 	return g, feasible(g)
 }
 
-func (p *corruptingPolicy) PostPass(sys *System, now float64) {
+func (p *corruptingPolicy) Bind(*System) {}
+
+func (p *corruptingPolicy) ControlPass(sys *System, now float64) {
 	if p.corrupted || now < p.after {
 		return
 	}
@@ -100,7 +102,7 @@ func TestCorruptedPlannedEndReportsNotCrashes(t *testing.T) {
 
 // TestRelRemoveErrorFromSetGear covers the other relRemove caller: a gear
 // switch on a corrupted RunState reports through the same error path
-// instead of panicking mid-PostPass.
+// instead of panicking mid-ControlPass.
 func TestRelRemoveErrorFromSetGear(t *testing.T) {
 	gears := dvfs.PaperGearSet()
 	pol := &regearCorruptPolicy{gears: gears, after: 50}
@@ -142,7 +144,9 @@ func (p *regearCorruptPolicy) BackfillGear(j *workload.Job, now float64, wq int,
 	return g, feasible(g)
 }
 
-func (p *regearCorruptPolicy) PostPass(sys *System, now float64) {
+func (p *regearCorruptPolicy) Bind(*System) {}
+
+func (p *regearCorruptPolicy) ControlPass(sys *System, now float64) {
 	if p.corrupted || now < p.after {
 		return
 	}

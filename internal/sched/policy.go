@@ -20,8 +20,11 @@ import (
 //     head job. feasible(g) reports whether an immediate start at gear g
 //     keeps the head's reservation intact; the policy must only return
 //     gears for which feasible is true. ok=false leaves the job queued.
-//   - PostPass runs after every scheduling pass and may adjust running
-//     jobs through System methods (dynamic boost extension).
+//
+// Per-pass adjustment of running jobs (the dynamic boost extension,
+// power capping) lives on the PowerController seam, not here: a policy
+// that also implements PowerController is promoted to the system's
+// controller automatically by New.
 //
 // wqOthers is the number of jobs waiting in the queue excluding the job
 // under decision, matching the paper's WQthreshold semantics.
@@ -29,15 +32,14 @@ type GearPolicy interface {
 	Name() string
 	ReserveGear(j *workload.Job, start, now float64, wqOthers int) dvfs.Gear
 	BackfillGear(j *workload.Job, now float64, wqOthers int, feasible func(dvfs.Gear) bool) (dvfs.Gear, bool)
-	PostPass(sys *System, now float64)
 }
 
-// PolicyCloner is implemented by stateful gear policies (typically
-// SystemBinders) that can mint an unbound copy of themselves, so several
-// executions — concurrent ones in particular — never share mutable policy
-// state: each run clones the policy and binds the clone to its own
-// system. Stateless policies (core.Policy, FixedGear) don't need it; they
-// are safe to share as-is.
+// PolicyCloner is implemented by stateful gear policies (typically ones
+// doubling as PowerControllers) that can mint an unbound copy of
+// themselves, so several executions — concurrent ones in particular —
+// never share mutable policy state: each run clones the policy and binds
+// the clone to its own system. Stateless policies (core.Policy,
+// FixedGear) don't need it; they are safe to share as-is.
 type PolicyCloner interface {
 	// ClonePolicy returns an independent, unbound copy carrying the same
 	// configuration.
@@ -73,6 +75,16 @@ func (m MultiRecorder) PassEnd(now float64, queued, busy int) {
 	}
 }
 
+// JobRegeared forwards gear switches to members implementing
+// GearObserver.
+func (m MultiRecorder) JobRegeared(rs *RunState, old dvfs.Gear, now float64) {
+	for _, r := range m {
+		if o, ok := r.(GearObserver); ok {
+			o.JobRegeared(rs, old, now)
+		}
+	}
+}
+
 // FixedGear always schedules at one gear; with the top gear it is the
 // paper's no-DVFS baseline.
 type FixedGear struct {
@@ -89,6 +101,3 @@ func (p FixedGear) ReserveGear(*workload.Job, float64, float64, int) dvfs.Gear {
 func (p FixedGear) BackfillGear(j *workload.Job, now float64, wqOthers int, feasible func(dvfs.Gear) bool) (dvfs.Gear, bool) {
 	return p.Gear, feasible(p.Gear)
 }
-
-// PostPass implements GearPolicy.
-func (p FixedGear) PostPass(*System, float64) {}

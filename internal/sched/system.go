@@ -138,6 +138,13 @@ type Config struct {
 	Policy    GearPolicy
 	Variant   Variant
 	Recorder  Recorder
+	// Controller is the per-pass observe–decide–actuate seam: it is bound
+	// to the system by New and its ControlPass runs after every scheduling
+	// pass. A Policy that itself implements PowerController keeps its own
+	// per-pass hook regardless (the §7 dynamic boost rides on this, and is
+	// bound by New); it runs before Controller, which actuates last. Nil
+	// with a controller-free policy disables the loop entirely.
+	Controller PowerController
 	// Selection is the resource selection policy mapping job processes
 	// to processors (First Fit in the paper).
 	Selection cluster.Selection
@@ -165,6 +172,12 @@ type System struct {
 	// half the slice; iteration must skip nils. runNil counts tombstones.
 	runList []*RunState
 	runNil  int
+
+	// policyCtrl is the gear policy's own per-pass hook when the policy
+	// implements PowerController (the §7 dynamic boost). It runs before
+	// the explicit Config.Controller so a cluster-level controller always
+	// acts last and its enforcement wins.
+	policyCtrl PowerController
 
 	// src streams the workload into the engine: only one future arrival
 	// is in the event heap at any time, so heap size stays O(running
@@ -254,17 +267,51 @@ func New(cfg Config) (*System, error) {
 		(cfg.Variant == Conservative || (cfg.Variant == EASY && cfg.Reservations > 1))
 	s.relIndexed = s.relIncremental && !cfg.Compat.SliceReleases
 	s.engine.NoPool = cfg.Compat.ScratchAlloc
-	if b, ok := cfg.Policy.(SystemBinder); ok {
-		b.Bind(s)
+	// A gear policy that is also a controller serves both seams: the
+	// per-job decisions through GearPolicy, the per-pass ones through
+	// ControlPass. It keeps its hook even when an explicit cluster-level
+	// controller is configured, so e.g. the §7 boost composes with power
+	// capping instead of being silently dropped.
+	if pc, ok := cfg.Policy.(PowerController); ok {
+		s.policyCtrl = pc
+	}
+	if any(s.cfg.Controller) == any(cfg.Policy) {
+		// Registering the policy explicitly is the same as promotion; a
+		// nil-nil match is harmless (both slots stay empty).
+		s.cfg.Controller = nil
+	}
+	if s.policyCtrl != nil {
+		s.policyCtrl.Bind(s)
+	}
+	if s.cfg.Controller != nil {
+		// A controller that observes lifecycle events (an online power
+		// meter) is spliced into the recorder chain, so callers configure
+		// it once and the observe half of the loop wires itself.
+		if rec, ok := s.cfg.Controller.(Recorder); ok {
+			if s.cfg.Recorder == nil {
+				s.cfg.Recorder = rec
+			} else {
+				s.cfg.Recorder = MultiRecorder{s.cfg.Recorder, rec}
+			}
+		}
+		s.cfg.Controller.Bind(s)
 	}
 	return s, nil
 }
 
-// SystemBinder is implemented by gear policies that need to observe the
-// system state (e.g. cluster utilization) when making decisions; New
-// calls Bind before the simulation starts.
-type SystemBinder interface {
-	Bind(*System)
+// controlPass runs the power-controller seam at the end of a scheduling
+// pass. It is the actuation point of the controller layer: starts and
+// backfills for this epoch are placed, so controllers see (and may
+// regear) the post-decision running set. The policy's own hook runs
+// first; the explicit cluster-level controller actuates last, so its
+// enforcement wins over per-job boosting.
+func (s *System) controlPass(now float64) {
+	if s.policyCtrl != nil {
+		s.policyCtrl.ControlPass(s, now)
+	}
+	if s.cfg.Controller != nil {
+		s.cfg.Controller.ControlPass(s, now)
+	}
 }
 
 // Now returns the current simulation time.
@@ -574,7 +621,7 @@ func (s *System) pass(now float64) {
 		}
 	}
 	if len(s.queue) == 0 || s.cfg.Variant == FCFS {
-		s.cfg.Policy.PostPass(s, now)
+		s.controlPass(now)
 		return
 	}
 
@@ -615,7 +662,7 @@ func (s *System) pass(now float64) {
 		}
 	}
 	s.setQueue(kept)
-	s.cfg.Policy.PostPass(s, now)
+	s.controlPass(now)
 }
 
 // setQueue installs the filtered queue. kept usually aliases the queue's
@@ -755,7 +802,7 @@ func (s *System) profilePass(now float64, maxRes int) {
 			s.profClean = len(s.resvMeta)
 		}
 	}
-	s.cfg.Policy.PostPass(s, now)
+	s.controlPass(now)
 }
 
 // persistentProfile returns the across-pass availability profile, opening
@@ -947,11 +994,13 @@ func (s *System) finish(rs *RunState, now float64) {
 // SetGear switches a running job to gear g at time now, rescaling its
 // remaining work under the β model and re-scheduling its completion. It
 // implements the paper's future-work extension of dynamically raising
-// frequencies of running jobs. Policies call it from PostPass.
+// frequencies of running jobs. Controllers call it from ControlPass.
+// Recorders implementing GearObserver are notified after the switch.
 func (s *System) SetGear(rs *RunState, g dvfs.Gear, now float64) {
 	if g == rs.Gear {
 		return
 	}
+	old := rs.Gear
 	if err := s.relRemove(rs); err != nil { // the schedule holds the old PlannedEnd
 		s.fail(err)
 		return
@@ -993,4 +1042,7 @@ func (s *System) SetGear(rs *RunState, g dvfs.Gear, now float64) {
 		panic(fmt.Sprintf("sched: rescheduling completion of job %d: %v", rs.Job.ID, err))
 	}
 	rs.endEv = h
+	if o, ok := s.cfg.Recorder.(GearObserver); ok {
+		o.JobRegeared(rs, old, now)
+	}
 }

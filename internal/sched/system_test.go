@@ -274,7 +274,8 @@ func (p boostPolicy) ReserveGear(*workload.Job, float64, float64, int) dvfs.Gear
 func (p boostPolicy) BackfillGear(j *workload.Job, now float64, wq int, feasible func(dvfs.Gear) bool) (dvfs.Gear, bool) {
 	return p.gears.Lowest(), feasible(p.gears.Lowest())
 }
-func (p boostPolicy) PostPass(sys *System, now float64) {
+func (p boostPolicy) Bind(*System) {}
+func (p boostPolicy) ControlPass(sys *System, now float64) {
 	if sys.QueueLen() == 0 {
 		return
 	}

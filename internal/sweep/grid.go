@@ -6,7 +6,7 @@
 // keeping the output byte-identical to a serial sweep.
 //
 // Determinism contract: Grid.Points always enumerates the cross product in
-// the same nested axis order (trace outermost, reservations innermost), and
+// the same nested axis order (trace outermost, cap fractions innermost), and
 // Pool.Execute writes each result into the slot of its input index, so the
 // result slice never depends on worker count or scheduling interleavings —
 // only per-run wall-clock does.
@@ -53,6 +53,10 @@ type Grid struct {
 	Orders []string `json:"orders,omitempty"`
 	// Reservations are EASY reservation depths (empty → 0, classic).
 	Reservations []int `json:"reservations,omitempty"`
+	// CapFracs are power-cap levels as fractions of the machine's peak
+	// draw, each compiled into a closed-loop PowerCap controller; 0 runs
+	// without a controller (empty → 0, uncapped).
+	CapFracs []float64 `json:"cap_fracs,omitempty"`
 }
 
 // Point is one expanded grid cell: pure data, resolvable to a runner.Spec.
@@ -68,6 +72,7 @@ type Point struct {
 	Selection    string       `json:"selection"`
 	Order        string       `json:"order"`
 	Reservations int          `json:"reservations"`
+	CapFrac      float64      `json:"cap_frac,omitempty"`
 }
 
 // Label is a human-readable cell caption for progress lines and CSV rows.
@@ -90,6 +95,9 @@ func (p Point) Label() string {
 	}
 	if p.Reservations != 0 {
 		fmt.Fprintf(&b, "/res=%d", p.Reservations)
+	}
+	if p.CapFrac > 0 {
+		fmt.Fprintf(&b, "/cap=%g", p.CapFrac)
 	}
 	return b.String()
 }
@@ -117,6 +125,9 @@ func (g Grid) withDefaults() Grid {
 	}
 	if len(g.Reservations) == 0 {
 		g.Reservations = []int{0}
+	}
+	if len(g.CapFracs) == 0 {
+		g.CapFracs = []float64{0}
 	}
 	return g
 }
@@ -179,6 +190,11 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: negative reservation depth %d", r)
 		}
 	}
+	for _, c := range d.CapFracs {
+		if c < 0 || c > 1 || math.IsNaN(c) {
+			return fmt.Errorf("sweep: cap fraction %v out of [0, 1] (0 = uncapped)", c)
+		}
+	}
 	return nil
 }
 
@@ -186,12 +202,13 @@ func (g Grid) Validate() error {
 func (g Grid) Size() int {
 	d := g.withDefaults()
 	return len(d.Traces) * len(d.Policies) * len(d.SizeFactors) * len(d.CPUs) *
-		len(d.Variants) * len(d.Selections) * len(d.Orders) * len(d.Reservations)
+		len(d.Variants) * len(d.Selections) * len(d.Orders) * len(d.Reservations) *
+		len(d.CapFracs)
 }
 
 // Points expands the grid in its canonical order: traces outermost, then
-// policies, size factors, CPU overrides, variants, selections, orders and
-// reservation depths innermost. The order is part of the determinism
+// policies, size factors, CPU overrides, variants, selections, orders,
+// reservation depths and cap fractions innermost. The order is part of the determinism
 // contract — callers may rely on result index i meaning the same cell on
 // every run.
 func (g Grid) Points() []Point {
@@ -205,17 +222,20 @@ func (g Grid) Points() []Point {
 						for _, sel := range d.Selections {
 							for _, ord := range d.Orders {
 								for _, res := range d.Reservations {
-									pts = append(pts, Point{
-										Index:        len(pts),
-										Trace:        tr,
-										Policy:       pol,
-										SizeFactor:   sf,
-										CPUs:         cpus,
-										Variant:      v,
-										Selection:    sel,
-										Order:        ord,
-										Reservations: res,
-									})
+									for _, capf := range d.CapFracs {
+										pts = append(pts, Point{
+											Index:        len(pts),
+											Trace:        tr,
+											Policy:       pol,
+											SizeFactor:   sf,
+											CPUs:         cpus,
+											Variant:      v,
+											Selection:    sel,
+											Order:        ord,
+											Reservations: res,
+											CapFrac:      capf,
+										})
+									}
 								}
 							}
 						}
@@ -328,6 +348,9 @@ func (r *Resolver) Spec(p Point) (runner.Spec, error) {
 		Beta:          r.Beta,
 		KeepCollector: r.KeepCollector,
 	}
+	if p.CapFrac > 0 {
+		spec.Controller = scenario.ControllerConfig{CapFrac: p.CapFrac}
+	}
 	if !p.Policy.Baseline() {
 		gears := r.gears()
 		pol, err := core.NewPolicy(core.Params{
@@ -362,6 +385,9 @@ func (r *Resolver) Scenario(p Point) (*scenario.Scenario, error) {
 		Reservations:  p.Reservations,
 		Gears:         r.Gears,
 		KeepCollector: r.KeepCollector,
+	}
+	if p.CapFrac > 0 {
+		ss.Controller = scenario.ControllerConfig{CapFrac: p.CapFrac}
 	}
 	if r.Beta != 0 {
 		beta := r.Beta

@@ -16,7 +16,9 @@ import (
 // ResolveTrace materializes the named workload. cpus supplies the system
 // size for SWF logs without a MaxProcs header (0 requires the header);
 // jobs overrides a preset's trace length (0 keeps the model's native
-// length); the filter applies to SWF logs only.
+// length). The filter's status cleaning applies to SWF logs only, but
+// its EcoUsers hook tags presets too: "*" opts in every generated job,
+// user IDs match when the model assigns a user pool (Model.Users).
 func ResolveTrace(name string, cpus, jobs int, filter workload.SWFFilter) (*workload.Trace, error) {
 	if strings.HasSuffix(name, ".swf") {
 		return workload.ParseSWFFile(name, cpus, filter)
@@ -28,13 +30,23 @@ func ResolveTrace(name string, cpus, jobs int, filter workload.SWFFilter) (*work
 	if jobs > 0 {
 		m.Jobs = jobs
 	}
-	return Generate(m)
+	eco, err := filter.EcoSet()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := Generate(m)
+	if err != nil {
+		return nil, err
+	}
+	eco.Tag(tr.Jobs)
+	return tr, nil
 }
 
 // ResolveSource streams the named workload: presets generate lazily
 // (Stream), SWF logs are read incrementally (workload.OpenSWFSource).
-// Parameters are those of ResolveTrace. Every call returns an
-// independent source, so concurrent runs never share a cursor.
+// Parameters are those of ResolveTrace, including the preset EcoUsers
+// semantics. Every call returns an independent source, so concurrent
+// runs never share a cursor.
 func ResolveSource(name string, cpus, jobs int, filter workload.SWFFilter) (workload.JobSource, error) {
 	if strings.HasSuffix(name, ".swf") {
 		return workload.OpenSWFSource(name, cpus, filter)
@@ -46,5 +58,13 @@ func ResolveSource(name string, cpus, jobs int, filter workload.SWFFilter) (work
 	if jobs > 0 {
 		m.Jobs = jobs
 	}
-	return Stream(m)
+	eco, err := filter.EcoSet()
+	if err != nil {
+		return nil, err
+	}
+	src, err := Stream(m)
+	if err != nil {
+		return nil, err
+	}
+	return workload.TagEco(src, eco), nil
 }

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EcoSet is the parsed form of SWFFilter.EcoUsers: which submitting
+// users have opted their jobs into eco-mode power management. The zero
+// value is the empty set (hook off). It applies uniformly to every
+// workload pipeline — the SWF parsers tag during decoding, wgen preset
+// resolution tags generated traces (Tag) and streamed cursors (TagEco) —
+// so "the same filter produces the same Eco flags" holds regardless of
+// how a workload is loaded.
+type EcoSet struct {
+	all bool
+	ids map[int]bool
+}
+
+// EcoSet parses the filter's EcoUsers hook: comma-separated user IDs, or
+// "*" to opt in every job regardless of its user (the only form that can
+// match jobs carrying no user ID). Empty EcoUsers yields the empty set.
+func (f SWFFilter) EcoSet() (EcoSet, error) {
+	if f.EcoUsers == "" {
+		return EcoSet{}, nil
+	}
+	if strings.TrimSpace(f.EcoUsers) == "*" {
+		return EcoSet{all: true}, nil
+	}
+	ids := make(map[int]bool)
+	for _, part := range strings.Split(f.EcoUsers, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			return EcoSet{}, fmt.Errorf("workload: SWFFilter.EcoUsers entry %q is not a user ID or \"*\": %v", part, err)
+		}
+		ids[id] = true
+	}
+	return EcoSet{ids: ids}, nil
+}
+
+// Empty reports whether the hook is off (no job can match).
+func (e EcoSet) Empty() bool { return !e.all && len(e.ids) == 0 }
+
+// Opted reports whether a job submitted by the given user (-1 when the
+// workload records none) opts into eco mode.
+func (e EcoSet) Opted(user int) bool {
+	if e.all {
+		return true
+	}
+	return user >= 0 && e.ids[user]
+}
+
+// Tag applies the set to materialized jobs in place. A no-op for the
+// empty set, so untagged pipelines stay untouched.
+func (e EcoSet) Tag(jobs []*Job) {
+	if e.Empty() {
+		return
+	}
+	for _, j := range jobs {
+		j.Eco = e.Opted(j.User)
+	}
+}
+
+// TagEco wraps a source so every streamed job carries the set's Eco
+// flag. The empty set returns src unwrapped, keeping the untagged
+// streaming path byte- and type-identical.
+func TagEco(src JobSource, e EcoSet) JobSource {
+	if e.Empty() {
+		return src
+	}
+	return &ecoSource{src: src, set: e}
+}
+
+type ecoSource struct {
+	src JobSource
+	set EcoSet
+}
+
+func (s *ecoSource) Name() string { return s.src.Name() }
+func (s *ecoSource) CPUs() int    { return s.src.CPUs() }
+func (s *ecoSource) Err() error   { return s.src.Err() }
+func (s *ecoSource) Reset() error { return s.src.Reset() }
+
+// Len implements Counted: tagging drops no jobs, so the inner length
+// passes through (-1 when the inner source cannot know it).
+func (s *ecoSource) Len() int {
+	if c, ok := s.src.(Counted); ok {
+		return c.Len()
+	}
+	return -1
+}
+
+// Next implements JobSource.
+func (s *ecoSource) Next() (Job, bool) {
+	j, ok := s.src.Next()
+	if ok {
+		j.Eco = s.set.Opted(j.User)
+	}
+	return j, ok
+}
+
+var (
+	_ JobSource = (*ecoSource)(nil)
+	_ Counted   = (*ecoSource)(nil)
+)

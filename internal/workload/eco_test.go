@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEcoSetParse(t *testing.T) {
+	cases := []struct {
+		in      string
+		empty   bool
+		opted   []int
+		refused []int
+		wantErr bool
+	}{
+		{in: "", empty: true, refused: []int{-1, 0, 7}},
+		{in: "7", opted: []int{7}, refused: []int{-1, 0, 8}},
+		{in: "1, 7,42", opted: []int{1, 7, 42}, refused: []int{-1, 2}},
+		{in: "*", opted: []int{-1, 0, 7, 1 << 20}},
+		{in: " * ", opted: []int{-1, 3}},
+		{in: "1,x", wantErr: true},
+		{in: "*,2", wantErr: true},
+	}
+	for _, c := range cases {
+		set, err := SWFFilter{EcoUsers: c.in}.EcoSet()
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("EcoSet(%q): no error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("EcoSet(%q): %v", c.in, err)
+			continue
+		}
+		if set.Empty() != c.empty {
+			t.Errorf("EcoSet(%q).Empty() = %v, want %v", c.in, set.Empty(), c.empty)
+		}
+		for _, u := range c.opted {
+			if !set.Opted(u) {
+				t.Errorf("EcoSet(%q).Opted(%d) = false, want true", c.in, u)
+			}
+		}
+		for _, u := range c.refused {
+			if set.Opted(u) {
+				t.Errorf("EcoSet(%q).Opted(%d) = true, want false", c.in, u)
+			}
+		}
+	}
+}
+
+func TestEcoSetTagAndSource(t *testing.T) {
+	mk := func() []*Job {
+		return []*Job{
+			{ID: 1, User: 7, Procs: 1, Runtime: 10},
+			{ID: 2, User: -1, Procs: 1, Runtime: 10, Submit: 1},
+			{ID: 3, User: 9, Procs: 1, Runtime: 10, Submit: 2},
+		}
+	}
+	set, err := SWFFilter{EcoUsers: "7"}.EcoSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := mk()
+	set.Tag(jobs)
+	if !jobs[0].Eco || jobs[1].Eco || jobs[2].Eco {
+		t.Errorf("Tag(7): eco flags = %v %v %v, want true false false", jobs[0].Eco, jobs[1].Eco, jobs[2].Eco)
+	}
+
+	all, err := SWFFilter{EcoUsers: "*"}.EcoSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = mk()
+	all.Tag(jobs)
+	for _, j := range jobs {
+		if !j.Eco {
+			t.Errorf("Tag(*): job %d not eco", j.ID)
+		}
+	}
+
+	// The empty set leaves the source unwrapped; a non-empty one tags
+	// streamed jobs and forwards the length.
+	src := NewSliceSource("t", 4, mk())
+	if got := TagEco(src, EcoSet{}); got != JobSource(src) {
+		t.Error("TagEco(empty) wrapped the source")
+	}
+	tagged := TagEco(src, set)
+	if tagged == JobSource(src) {
+		t.Fatal("TagEco(non-empty) returned the source unwrapped")
+	}
+	if c, ok := tagged.(Counted); !ok || c.Len() != 3 {
+		t.Errorf("tagged source lost the length: %v", tagged)
+	}
+	var eco []bool
+	for {
+		j, ok := tagged.Next()
+		if !ok {
+			break
+		}
+		eco = append(eco, j.Eco)
+	}
+	if len(eco) != 3 || !eco[0] || eco[1] || eco[2] {
+		t.Errorf("streamed eco flags = %v, want [true false false]", eco)
+	}
+	if err := tagged.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if j, ok := tagged.Next(); !ok || !j.Eco {
+		t.Errorf("after reset: job %+v ok=%v, want eco first job", j, ok)
+	}
+}
+
+// The SWF parsers honor "*": every job opts in, including ones whose
+// user field is missing or negative.
+func TestSWFEcoStar(t *testing.T) {
+	const log = `; MaxProcs: 8
+1 0 0 10 1 -1 -1 1 100 -1 1 7 -1 -1 -1 -1 -1 -1
+2 5 0 10 1 -1 -1 1 100 -1 1 -1 -1 -1 -1 -1 -1 -1
+3 9 0 10 1 -1 -1 1 100 -1 1
+`
+	tr, err := ParseSWFFiltered(strings.NewReader(log), "star", 0, SWFFilter{EcoUsers: "*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 3 {
+		t.Fatalf("parsed %d jobs, want 3", len(tr.Jobs))
+	}
+	for _, j := range tr.Jobs {
+		if !j.Eco {
+			t.Errorf("job %d (user %d) not eco under \"*\"", j.ID, j.User)
+		}
+	}
+	if _, err := ParseSWFFiltered(strings.NewReader(log), "bad", 0, SWFFilter{EcoUsers: "seven"}); err == nil {
+		t.Error("malformed EcoUsers parsed without error")
+	}
+}

@@ -43,6 +43,13 @@ type Job struct {
 	// itself ignores Status; it only drives the opt-in replay filters
 	// (SWFFilter, RemoveFailed).
 	Status int
+	// Eco marks the job as opted into eco-mode power management
+	// (Angelelli et al.'s user-assisted capping): an eco-only power-cap
+	// controller may regear only jobs carrying the flag. SWF logs have no
+	// such column, so the flag is derived at load time from the
+	// submitting user via SWFFilter.EcoUsers (see EcoSet); wgen preset
+	// resolution applies the same hook to generated jobs.
+	Eco bool
 }
 
 // Job completion statuses (internal encoding; the zero value is unknown

@@ -34,6 +34,14 @@ type SWFFilter struct {
 	DropFailed bool
 	// DropCanceled skips jobs with status 5 (canceled before start).
 	DropCanceled bool
+	// EcoUsers marks jobs of the listed users (comma-separated SWF user
+	// IDs, field 12; "*" opts in every job) as eco-mode opt-ins: their
+	// Job.Eco is set, which eco-only power-cap controllers use as the
+	// per-job consent flag. A string rather than a slice so the filter
+	// stays comparable (the scenario compiler keys workload arenas on
+	// it). Empty disables the hook; malformed entries surface as parse
+	// errors. The same hook tags wgen presets — see EcoSet.
+	EcoUsers string
 }
 
 // keep reports whether a job with the given SWF status passes the filter.
@@ -106,6 +114,9 @@ type swfParser struct {
 	cpus   int
 	filter SWFFilter
 	lineNo int
+
+	eco      EcoSet // lazily parsed from filter.EcoUsers
+	ecoReady bool
 }
 
 // parseLine decodes one SWF line. ok=false with a nil error means the
@@ -148,6 +159,16 @@ func (p *swfParser) parseLine(raw string) (Job, bool, error) {
 	}
 	if len(vals) >= 12 && vals[11] >= 0 {
 		job.User = int(vals[11]) // field 12: user ID
+	}
+	if !p.ecoReady {
+		set, err := p.filter.EcoSet()
+		if err != nil {
+			return Job{}, false, err
+		}
+		p.eco, p.ecoReady = set, true
+	}
+	if !p.eco.Empty() {
+		job.Eco = p.eco.Opted(job.User)
 	}
 	if !p.filter.keep(job.Status) {
 		return Job{}, false, nil
