@@ -492,24 +492,29 @@ func BenchmarkConservativeMillionPreset(b *testing.B) {
 // BenchmarkConservativeFullMillion replays the FULL Million preset — all
 // one million jobs, streamed so no trace slice exists — under
 // conservative backfilling, the replanning-heavy regime system-scale
-// power-management replays operate in. Two modes isolate the release-
-// index win on top of PR 5's persistent profile: "memmove" keeps the
-// (PlannedEnd, id)-sorted release cache as a flat slice whose inserts and
-// removes each move O(running jobs) entries (Compat.SliceReleases, the
-// PR 5 path); "optimized" is the chunked ordered release index, O(log n +
-// chunk) per mutation. Schedules are byte-identical across the modes
-// (TestCompatModesProduceIdenticalSchedules, the relindex differential
-// suite). The seed and rebuild modes are deliberately absent: at ~300
+// power-management replays operate in. The modes isolate successive wins
+// on top of PR 5's persistent profile: "memmove" keeps the (PlannedEnd,
+// id)-sorted release cache as a flat slice whose inserts and removes
+// each move O(running jobs) entries (Compat.SliceReleases, the PR 5
+// path); "flatresv" has the chunked release index but keeps the profile
+// on its flat tiers — append-and-resort pending buffer, skyline-tree
+// rebuilds, flat reservation slices (Compat.FlatReservations, the PR 6-8
+// path); "optimized" is the full chunked-index profile — skyline and
+// reservation tiers both chunked, plus the widened changed-prefix
+// analysis. Schedules are byte-identical across the modes
+// (TestCompatModesProduceIdenticalSchedules, the index differential
+// suites). The seed and rebuild modes are deliberately absent: at ~300
 // jobs/s the seed path would need close to an hour per iteration; their
 // ratios stay pinned at 10k/40k jobs by BenchmarkConservativeMillionPreset.
-// Results are recorded in BENCH_sched.json; cmd/benchgate gate 4 holds
-// the optimized/memmove ratio in CI.
+// Results are recorded in BENCH_sched.json; cmd/benchgate gates 4 and 6
+// hold the optimized/memmove and optimized/flatresv ratios in CI.
 func BenchmarkConservativeFullMillion(b *testing.B) {
 	for _, mode := range []struct {
 		name   string
 		compat sched.Compat
 	}{
 		{"memmove", sched.Compat{SliceReleases: true}},
+		{"flatresv", sched.Compat{FlatReservations: true}},
 		{"optimized", sched.Compat{}},
 	} {
 		b.Run(fmt.Sprintf("jobs=%d/%s", wgen.MillionJobs, mode.name), func(b *testing.B) {

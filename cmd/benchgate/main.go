@@ -44,6 +44,14 @@
 // controller hot path (O(1) metering, the control law, the gear-ceiling
 // walk) grew beyond its allowance.
 //
+// Gate 6 — reservation tier: the conservative FULL-Million-preset
+// flatresv-vs-optimized speedup ratio, from the same
+// BenchmarkConservativeFullMillion invocation gate 4 reads. The baseline
+// mode is Compat.FlatReservations — the PR 6-8 flat profile tiers
+// (pending buffer + skyline tree + flat reservation slices) — so the
+// ratio isolates exactly what the chunked skyline and reservation
+// indexes bought, independently of the release-index win gate 4 holds.
+//
 // Every gate disables via an empty benchmark name.
 //
 // Usage:
@@ -57,6 +65,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -76,96 +85,156 @@ type benchFile struct {
 	} `json:"entries"`
 }
 
-func main() {
-	var (
-		benchPath   = flag.String("bench", "bench.out", "go test -bench output to scan")
-		basePath    = flag.String("baseline", "BENCH_sched.json", "committed performance trajectory")
-		benchmark   = flag.String("benchmark", "BenchmarkHotPathSeedVsOptimized", "throughput benchmark to gate on (empty disables the throughput gate)")
-		jobs        = flag.Int("jobs", 1_000_000, "Million-preset job count of the gated sub-runs")
-		maxRegress  = flag.Float64("max-regress", 0.20, "maximum allowed fractional drop of the optimized/seed speedup")
-		heapBench   = flag.String("heap-benchmark", "BenchmarkStreamingMillionHeap", "streaming peak-heap benchmark to gate on (empty disables the heap gate)")
-		heapGrowth  = flag.Float64("heap-max-growth", 0.20, "maximum allowed fractional growth of the streamed peak heap")
-		consBench   = flag.String("cons-benchmark", "BenchmarkConservativeMillionPreset", "replanning benchmark to gate on (empty disables the replanning gate)")
-		consJobs    = flag.Int("cons-jobs", 40_000, "Million-preset job count of the gated replanning sub-runs")
-		consRegress = flag.Float64("cons-max-regress", 0.20, "maximum allowed fractional drop of the replanning optimized/seed speedup")
-		idxBench    = flag.String("relindex-benchmark", "BenchmarkConservativeFullMillion", "release-index benchmark to gate on (empty disables the release-index gate)")
-		idxJobs     = flag.Int("relindex-jobs", 1_000_000, "job count of the gated full-preset replanning sub-runs")
-		idxRegress  = flag.Float64("relindex-max-regress", 0.20, "maximum allowed fractional drop of the optimized/memmove speedup")
-		ctrlBench   = flag.String("ctrl-benchmark", "BenchmarkControllerMillion", "controller-overhead benchmark to gate on (empty disables the controller gate)")
-		ctrlJobs    = flag.Int("ctrl-jobs", 1_000_000, "Million-preset job count of the gated controller sub-runs")
-		ctrlRegress = flag.Float64("ctrl-max-regress", 0.20, "maximum allowed fractional drop of the capped/off throughput ratio")
-	)
-	flag.Parse()
+// config carries every gate's knobs; each gate disables via an empty
+// benchmark name.
+type config struct {
+	benchPath, basePath string
 
-	if *benchmark != "" {
-		gateRatio("hot-path", *benchPath, *basePath, *benchmark, *jobs, *maxRegress, "seed", "optimized")
+	benchmark  string // gate 1
+	jobs       int
+	maxRegress float64
+
+	heapBench  string // gate 2
+	heapGrowth float64
+
+	consBench   string // gate 3
+	consJobs    int
+	consRegress float64
+
+	idxBench   string // gate 4
+	idxJobs    int
+	idxRegress float64
+
+	ctrlBench   string // gate 5
+	ctrlJobs    int
+	ctrlRegress float64
+
+	resvBench   string // gate 6
+	resvJobs    int
+	resvRegress float64
+}
+
+func parseFlags(fs *flag.FlagSet, args []string) (config, error) {
+	var cfg config
+	fs.StringVar(&cfg.benchPath, "bench", "bench.out", "go test -bench output to scan")
+	fs.StringVar(&cfg.basePath, "baseline", "BENCH_sched.json", "committed performance trajectory")
+	fs.StringVar(&cfg.benchmark, "benchmark", "BenchmarkHotPathSeedVsOptimized", "throughput benchmark to gate on (empty disables the throughput gate)")
+	fs.IntVar(&cfg.jobs, "jobs", 1_000_000, "Million-preset job count of the gated sub-runs")
+	fs.Float64Var(&cfg.maxRegress, "max-regress", 0.20, "maximum allowed fractional drop of the optimized/seed speedup")
+	fs.StringVar(&cfg.heapBench, "heap-benchmark", "BenchmarkStreamingMillionHeap", "streaming peak-heap benchmark to gate on (empty disables the heap gate)")
+	fs.Float64Var(&cfg.heapGrowth, "heap-max-growth", 0.20, "maximum allowed fractional growth of the streamed peak heap")
+	fs.StringVar(&cfg.consBench, "cons-benchmark", "BenchmarkConservativeMillionPreset", "replanning benchmark to gate on (empty disables the replanning gate)")
+	fs.IntVar(&cfg.consJobs, "cons-jobs", 40_000, "Million-preset job count of the gated replanning sub-runs")
+	fs.Float64Var(&cfg.consRegress, "cons-max-regress", 0.20, "maximum allowed fractional drop of the replanning optimized/seed speedup")
+	fs.StringVar(&cfg.idxBench, "relindex-benchmark", "BenchmarkConservativeFullMillion", "release-index benchmark to gate on (empty disables the release-index gate)")
+	fs.IntVar(&cfg.idxJobs, "relindex-jobs", 1_000_000, "job count of the gated full-preset replanning sub-runs")
+	fs.Float64Var(&cfg.idxRegress, "relindex-max-regress", 0.20, "maximum allowed fractional drop of the optimized/memmove speedup")
+	fs.StringVar(&cfg.ctrlBench, "ctrl-benchmark", "BenchmarkControllerMillion", "controller-overhead benchmark to gate on (empty disables the controller gate)")
+	fs.IntVar(&cfg.ctrlJobs, "ctrl-jobs", 1_000_000, "Million-preset job count of the gated controller sub-runs")
+	fs.Float64Var(&cfg.ctrlRegress, "ctrl-max-regress", 0.20, "maximum allowed fractional drop of the capped/off throughput ratio")
+	fs.StringVar(&cfg.resvBench, "resv-benchmark", "BenchmarkConservativeFullMillion", "reservation-tier benchmark to gate on (empty disables the reservation-tier gate)")
+	fs.IntVar(&cfg.resvJobs, "resv-jobs", 1_000_000, "job count of the gated reservation-tier sub-runs")
+	fs.Float64Var(&cfg.resvRegress, "resv-max-regress", 0.20, "maximum allowed fractional drop of the optimized/flatresv speedup")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// run evaluates every enabled gate in order and returns the first
+// violation or read error.
+func run(cfg config, out io.Writer) error {
+	if cfg.benchmark != "" {
+		if err := gateRatio(out, "hot-path", cfg.benchPath, cfg.basePath, cfg.benchmark, cfg.jobs, cfg.maxRegress, "seed", "optimized"); err != nil {
+			return err
+		}
 	}
 
-	if *heapBench != "" {
-		baseHeap, err := baselineHeapMB(*basePath, *heapBench, *jobs, "streamed")
+	if cfg.heapBench != "" {
+		baseHeap, err := baselineHeapMB(cfg.basePath, cfg.heapBench, cfg.jobs, "streamed")
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		target := fmt.Sprintf("%s/jobs=%d/streamed", *heapBench, *jobs)
-		heap, err := measuredMetric(*benchPath, target, "peak-heap-MB")
+		target := fmt.Sprintf("%s/jobs=%d/streamed", cfg.heapBench, cfg.jobs)
+		heap, err := measuredMetric(cfg.benchPath, target, "peak-heap-MB")
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		ceiling := baseHeap * (1 + *heapGrowth)
-		fmt.Printf("benchgate: streamed peak heap %.1f MB; baseline %.1f MB, ceiling %.1f MB\n",
+		ceiling := baseHeap * (1 + cfg.heapGrowth)
+		fmt.Fprintf(out, "benchgate: streamed peak heap %.1f MB; baseline %.1f MB, ceiling %.1f MB\n",
 			heap, baseHeap, ceiling)
 		if heap > ceiling {
-			fatal(fmt.Errorf("streamed peak heap grew %.1f%% (> %.0f%% allowed): %.1f MB > %.1f MB",
-				100*(heap/baseHeap-1), 100**heapGrowth, heap, ceiling))
+			return fmt.Errorf("streamed peak heap grew %.1f%% (> %.0f%% allowed): %.1f MB > %.1f MB",
+				100*(heap/baseHeap-1), 100*cfg.heapGrowth, heap, ceiling)
 		}
 	}
 
-	if *consBench != "" {
-		gateRatio("replanning", *benchPath, *basePath, *consBench, *consJobs, *consRegress, "seed", "optimized")
+	if cfg.consBench != "" {
+		if err := gateRatio(out, "replanning", cfg.benchPath, cfg.basePath, cfg.consBench, cfg.consJobs, cfg.consRegress, "seed", "optimized"); err != nil {
+			return err
+		}
 	}
 
-	if *idxBench != "" {
-		gateRatio("release-index", *benchPath, *basePath, *idxBench, *idxJobs, *idxRegress, "memmove", "optimized")
+	if cfg.idxBench != "" {
+		if err := gateRatio(out, "release-index", cfg.benchPath, cfg.basePath, cfg.idxBench, cfg.idxJobs, cfg.idxRegress, "memmove", "optimized"); err != nil {
+			return err
+		}
 	}
 
-	if *ctrlBench != "" {
-		gateRatio("controller", *benchPath, *basePath, *ctrlBench, *ctrlJobs, *ctrlRegress, "off", "capped")
+	if cfg.ctrlBench != "" {
+		if err := gateRatio(out, "controller", cfg.benchPath, cfg.basePath, cfg.ctrlBench, cfg.ctrlJobs, cfg.ctrlRegress, "off", "capped"); err != nil {
+			return err
+		}
 	}
-	fmt.Println("benchgate: ok")
+
+	if cfg.resvBench != "" {
+		if err := gateRatio(out, "reservation-tier", cfg.benchPath, cfg.basePath, cfg.resvBench, cfg.resvJobs, cfg.resvRegress, "flatresv", "optimized"); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(out, "benchgate: ok")
+	return nil
 }
 
 // gateRatio holds one optMode/baseMode speedup ratio against the newest
-// committed baseline of the given benchmark, failing the build when it
+// committed baseline of the given benchmark, returning an error when it
 // drops beyond the allowed fraction. Both sub-runs come from the same
 // bench invocation on the same host, so the ratio cancels runner
 // hardware out.
-func gateRatio(label, benchPath, basePath, benchmark string, jobs int, maxRegress float64, baseMode, optMode string) {
+func gateRatio(out io.Writer, label, benchPath, basePath, benchmark string, jobs int, maxRegress float64, baseMode, optMode string) error {
 	base, err := baselineRatio(basePath, benchmark, jobs, baseMode, optMode)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	prefix := fmt.Sprintf("%s/jobs=%d/", benchmark, jobs)
 	ref, err := measuredMetric(benchPath, prefix+baseMode, "jobs/s")
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	opt, err := measuredMetric(benchPath, prefix+optMode, "jobs/s")
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	ratio := opt / ref
 	floor := base * (1 - maxRegress)
-	fmt.Printf("benchgate: %s %s/%s speedup %.2fx (%s %.0f, %s %.0f jobs/s); baseline %.2fx, floor %.2fx\n",
+	fmt.Fprintf(out, "benchgate: %s %s/%s speedup %.2fx (%s %.0f, %s %.0f jobs/s); baseline %.2fx, floor %.2fx\n",
 		label, optMode, baseMode, ratio, optMode, opt, baseMode, ref, base, floor)
 	if ratio < floor {
-		fatal(fmt.Errorf("%s speedup regressed %.1f%% (> %.0f%% allowed): %.2fx < %.2fx",
-			label, 100*(1-ratio/base), 100*maxRegress, ratio, floor))
+		return fmt.Errorf("%s speedup regressed %.1f%% (> %.0f%% allowed): %.2fx < %.2fx",
+			label, 100*(1-ratio/base), 100*maxRegress, ratio, floor)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchgate:", err)
-	os.Exit(1)
+	return nil
 }
 
 // baselineRatio returns optMode/baseMode jobs/s from the newest

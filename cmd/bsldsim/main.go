@@ -13,6 +13,12 @@
 //	bsldsim -workload CTC -nodvfs            # EASY baseline
 //	bsldsim -workload TenMillion -stream     # 10M jobs, O(running jobs) memory
 //	bsldsim -workload CTC -cap-frac 0.7      # closed-loop power capping at 70% of peak
+//
+// For performance work, -cpuprofile and -memprofile write pprof profiles
+// covering the whole run (both the policy and the no-DVFS baseline leg):
+//
+//	bsldsim -workload Million -policy conservative -cpuprofile cpu.out
+//	go tool pprof -top cpu.out
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/altpolicy"
@@ -62,8 +70,23 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit the report as JSON for downstream tooling")
 		cfgPath = flag.String("config", "", "JSON configuration file declaring platform, policy, machine and workload (overrides the other flags)")
 		dump    = flag.String("dump", "", "write per-job records (submit, wait, gear, BSLD, energy) to this CSV file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsldsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bsldsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 	var err error
 	if *cfgPath != "" {
 		err = runConfig(*cfgPath, *verbose, *asJSON, *dump)
@@ -74,6 +97,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bsldsim:", err)
 		os.Exit(1)
+	}
+	if *memProf != "" {
+		runtime.GC() // settle the heap so the profile shows retained memory
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsldsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bsldsim:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }
 

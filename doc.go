@@ -73,10 +73,13 @@
 // wgen Million and TenMillion presets; BENCH_sched.json tracks the
 // trajectory and CI's cmd/benchgate fails the build when any of the
 // gated speedup ratios — EASY optimized/seed, conservative
-// optimized/seed, conservative full-preset optimized/memmove, the
-// power-controller capped/off overhead — drops more than 20%, or the
-// streamed replay's peak heap grows more than 20%, against it). Seven
-// properties keep it fast and flat in memory:
+// optimized/seed, conservative full-preset optimized/memmove and
+// optimized/flatresv, the power-controller capped/off overhead — drops
+// more than 20%, or the streamed replay's peak heap grows more than
+// 20%, against it). For digging into a regression, cmd/bsldsim takes
+// -cpuprofile/-memprofile and writes pprof profiles of a whole run
+// (bench_test.go's benchmarks equally accept go test's own -cpuprofile).
+// Eight properties keep the path fast and flat in memory:
 //
 //   - Streaming workloads: workload.JobSource streams jobs one at a time
 //     end to end — wgen.Stream generates presets lazily from replayed
@@ -122,14 +125,14 @@
 //     retained and reused verbatim up to the first queue position whose
 //     replan could differ (the changed-prefix invariant: an untouched
 //     base, the same job at the same position, planning inputs still in
-//     the future, and the gear policy re-confirming its choice), and
-//     EarliestStart descends a max/min-augmented skyline tree over the
-//     main tier in O(log n). A pass pays one gear-policy re-ask per
-//     retained reservation plus full replanning of the changed suffix —
-//     no O(running) profile rebuild and no profile queries for the
-//     reused prefix; conservative backfilling on the Million preset runs
-//     7.4x faster than the rebuild-per-pass path it replaces
-//     (BENCH_sched.json, 40k jobs).
+//     the future, and the gear policy re-confirming its choice — for
+//     policies declaring sched.EstMonotonePolicy, re-asking only the two
+//     endpoints of the start interval). A pass pays one gear-policy
+//     re-ask per retained reservation plus full replanning of the
+//     changed suffix — no O(running) profile rebuild and no profile
+//     queries for the reused prefix; conservative backfilling on the
+//     Million preset runs 7.4x faster than the rebuild-per-pass path it
+//     replaces (BENCH_sched.json, 40k jobs).
 //   - Chunked release index: the (PlannedEnd, id)-sorted release
 //     schedule — every running job's planned processor release, the
 //     input to both the EASY shadow sweep and the replanning profile's
@@ -141,9 +144,32 @@
 //     reference (sorted-slice oracle suite, FuzzReleaseIndex, pinned
 //     shadow edge cases), and a release-schedule inconsistency now
 //     surfaces as an error from Simulate instead of a panic.
-//     Conservative backfilling runs the FULL Million preset at 72k
-//     jobs/s (2.3x over the memmove path) and the TenMillion preset at
-//     a flat 70k jobs/s (BENCH_sched.json).
+//     Conservative backfilling over the flat profile tiers ran the FULL
+//     Million preset at 72k jobs/s, 2.3x over the memmove path
+//     (BENCH_sched.json).
+//   - Chunked profile tiers: the persistent profile's own structures
+//     follow the same idiom (internal/profile/skydex.go, resvindex.go).
+//     The base skyline lives in a directory of bounded chunks holding
+//     deltas with exact in-chunk prefix sums and conservative prefix
+//     extrema, so EarliestStart's feasibility sweep skips whole chunks
+//     whose extrema cannot cross the limit, inserts coalesce equal-time
+//     deltas in one chunk memmove, and expiring history folds away
+//     chunk-at-a-time; reservations live in a parallel chunked ordered
+//     index that replaces the sorted-slice overlay, making
+//     AddReservation and TruncateReservations log-time (a truncate
+//     reprocesses at most min(suffix, prefix) journal entries, and
+//     re-truncating an already-applied prefix is free). Queries resume:
+//     a version-stamped memo keyed on the profile's base tier lets the
+//     replanning loop's ascending EarliestStart calls re-enter the sweep
+//     at the previous cursor — reservation-tier changes never invalidate
+//     it (the overlay re-seeks per query), only base mutations and folds
+//     bump the version. The flat tiers (pending buffer + skyline tree +
+//     sorted reservation slices) survive behind Compat.FlatReservations
+//     as the differential reference, pinned by a pairwise quick suite,
+//     FuzzReservationTier and the compat fixtures. Conservative
+//     backfilling runs the FULL Million preset at 218k jobs/s (2.8x
+//     over the flat tiers) and the TenMillion preset at 195k jobs/s —
+//     near-flat scaling to ten million jobs (BENCH_sched.json).
 //
 // The seed-era implementations remain available behind sched.Compat /
 // sched.SeedCompat() purely as a benchmark reference; determinism

@@ -98,6 +98,17 @@ type Policy struct {
 }
 
 var _ sched.GearPolicy = (*Policy)(nil)
+var _ sched.EstMonotonePolicy = (*Policy)(nil)
+
+// EstMonotone implements sched.EstMonotonePolicy: ReserveGear iterates
+// gears from the lowest frequency and picks the first whose predicted
+// BSLD passes the threshold. PredictedBSLD is nondecreasing in the wait
+// (eq. 2's numerator grows with it), so each gear's pass flips from
+// true to false at most once as the start grows, and the first-passing
+// index — with the Ftop fallback as the final stop — only moves toward
+// higher frequencies. The wait-queue branch doesn't depend on the start
+// at all.
+func (p *Policy) EstMonotone() {}
 
 // NewPolicy validates params and binds the algorithm to a gear set and
 // time model.

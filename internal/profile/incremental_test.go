@@ -20,15 +20,17 @@ type incJob struct {
 // every pass, asserts that UsedAt and EarliestStart answer exactly like a
 // profile rebuilt from scratch out of the live occupancies and the
 // reservation journal. Every EarliestStart is also evaluated twice, with
-// the skyline-tree descent and with the linear merge sweep, which must
-// agree to the bit. Integer times force equal-timestamp collisions, the
-// flush/fold/truncate paths all trigger at these sizes.
+// the indexed sweep (chunk-skipping by default, skyline-tree descent in
+// flat compat mode) and with the linear merge sweep, which must agree to
+// the bit. Both incremental tier layouts are driven. Integer times force
+// equal-timestamp collisions, the fold/flush/truncate paths all trigger
+// at these sizes.
 func TestQuickIncrementalMatchesFreshOracle(t *testing.T) {
 	passes := 1500
 	if testing.Short() {
 		passes = 200
 	}
-	f := func(seed int64) bool {
+	f := func(seed int64, flat bool) bool {
 		r := rand.New(rand.NewSource(seed))
 		total := 8 + r.Intn(56)
 		now := float64(r.Intn(10))
@@ -36,6 +38,7 @@ func TestQuickIncrementalMatchesFreshOracle(t *testing.T) {
 		var running []incJob
 		var resvs []Entry // mirrors the profile's reservation journal
 		p := New(total)
+		p.FlatReservations(flat)
 
 		startEpoch := func() {
 			rels := make([]Release, len(running))
@@ -97,9 +100,10 @@ func TestQuickIncrementalMatchesFreshOracle(t *testing.T) {
 				lin := p.EarliestStart(cpus, dur, from)
 				p.noTree = false
 				if got != want || lin != want {
-					t.Logf("seed %d: EarliestStart(%d, %v, %v) tree=%v linear=%v oracle=%v (main=%d pend=%d resv=%d+%d)",
-						seed, cpus, dur, from, got, lin, want,
-						len(p.deltas), len(p.pending)-p.pendLo, len(p.resv), len(p.resvPend))
+					t.Logf("seed %d flat=%v: EarliestStart(%d, %v, %v) indexed=%v linear=%v oracle=%v (main=%d pend=%d dex=%d resv=%d+%d ridx=%d)",
+						seed, flat, cpus, dur, from, got, lin, want,
+						len(p.deltas), len(p.pending)-p.pendLo, p.dex.len(),
+						len(p.resv), len(p.resvPend), p.ridx.len())
 					return false
 				}
 				if p.CanPlace(cpus, from, dur) != oracle.CanPlace(cpus, from, dur) {
@@ -164,7 +168,8 @@ func TestQuickIncrementalMatchesFreshOracle(t *testing.T) {
 
 // TestQuickSkylineTreeMatchesLinearSweep pins the tree descent to the
 // linear reference on epochs large enough that the tree is always active,
-// with overlays from all three small tiers in play.
+// with overlays from all three small tiers in play. The skyline tree
+// only serves the flat compat path now, so that is what it drives.
 func TestQuickSkylineTreeMatchesLinearSweep(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -177,6 +182,7 @@ func TestQuickSkylineTreeMatchesLinearSweep(t *testing.T) {
 		}
 		sortReleases(rels)
 		p := New(total)
+		p.FlatReservations(true)
 		p.StartEpoch(total, now, rels)
 		if p.tree.len() == 0 {
 			t.Log("tree not built on a large epoch")
@@ -215,34 +221,42 @@ func TestQuickSkylineTreeMatchesLinearSweep(t *testing.T) {
 
 // The persistent profile's live delta count must track the running and
 // planned set, not the history: after thousands of start/complete cycles
-// at a bounded running-set size, the base tiers stay bounded too (expired
-// history and credit pairs fold away during merges).
+// at a bounded running-set size, the base tiers stay bounded too. The
+// flat compat tier folds expired history and credit pairs during merges;
+// the chunked skyline index cancels credit pairs on contact, so it is
+// held to a tighter bound (one delta per distinct live end, plus slack
+// for same-pass stragglers ahead of a fold).
 func TestIncrementalBaseStaysBounded(t *testing.T) {
-	const total = 1 << 12
-	r := rand.New(rand.NewSource(5))
-	p := New(total)
-	now := 0.0
-	p.StartEpoch(total, now, nil)
-	var running []incJob
-	for pass := 0; pass < 20000; pass++ {
-		now += 1
-		p.BeginPass(now)
-		if len(running) < 64 && r.Intn(3) > 0 {
-			j := incJob{cpus: 1 + r.Intn(32), end: now + float64(1+r.Intn(400))}
-			p.Occupy(j.cpus, now, j.end)
-			running = append(running, j)
-		} else if len(running) > 0 {
-			i := r.Intn(len(running))
-			j := running[i]
-			p.Vacate(j.cpus, now, j.end)
-			running = append(running[:i], running[i+1:]...)
+	run := func(t *testing.T, flat bool, bound int) {
+		const total = 1 << 12
+		r := rand.New(rand.NewSource(5))
+		p := New(total)
+		p.FlatReservations(flat)
+		now := 0.0
+		p.StartEpoch(total, now, nil)
+		var running []incJob
+		for pass := 0; pass < 20000; pass++ {
+			now += 1
+			p.BeginPass(now)
+			if len(running) < 64 && r.Intn(3) > 0 {
+				j := incJob{cpus: 1 + r.Intn(32), end: now + float64(1+r.Intn(400))}
+				p.Occupy(j.cpus, now, j.end)
+				running = append(running, j)
+			} else if len(running) > 0 {
+				i := r.Intn(len(running))
+				j := running[i]
+				p.Vacate(j.cpus, now, j.end)
+				running = append(running[:i], running[i+1:]...)
+			}
+			p.UsedAt(now) // exercise fold/flush
 		}
-		p.UsedAt(now) // exercise fold/flush
+		// Planned ends reach at most 400 ticks ahead and the running set
+		// is capped at 64 jobs, so the live footprint must stay in the
+		// hundreds even though 20k mutations flowed through.
+		if n := p.BaseDeltas(); n > bound {
+			t.Fatalf("base deltas grew to %d after 20k bounded-churn passes", n)
+		}
 	}
-	// Planned ends reach at most 400 ticks ahead and the running set is
-	// capped at 64 jobs, so the live footprint must stay in the hundreds
-	// even though 20k mutations flowed through.
-	if n := p.BaseDeltas(); n > 4*64+2*incPendingFlush {
-		t.Fatalf("base deltas grew to %d after 20k bounded-churn passes", n)
-	}
+	t.Run("indexed", func(t *testing.T) { run(t, false, 64+16) })
+	t.Run("flat", func(t *testing.T) { run(t, true, 4*64+2*incPendingFlush) })
 }

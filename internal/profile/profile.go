@@ -17,19 +17,24 @@
 //
 // On top of that the profile has a persistent ("incremental") mode for
 // schedulers that replan every pass: StartEpoch loads the base skyline
-// once, Occupy/Vacate then mutate it in O(1) amortized per job start,
-// completion and gear switch (a completion is a negative "credit" entry
-// cancelling the tail of the planned occupancy), and reservations live in
-// a separate journaled layer that TruncateReservations can roll back to
-// any pass prefix — the changed-prefix contract the scheduler's
-// replanning uses to reuse untouched reservations verbatim. Queries in
-// this mode overlay base and reservation tiers; for times at or after the
-// latest BeginPass they answer exactly like a profile rebuilt from
-// scratch, and EarliestStart descends a max/min-augmented skyline tree
-// over the main tier in O(log n) instead of walking its segments. Expired
-// and mutually-cancelling deltas are folded away during merges, so the
-// live delta count tracks the running and planned jobs, not the history
-// of the run.
+// once, Occupy/Vacate then mutate it (a completion is a negative
+// "credit" entry cancelling the tail of the planned occupancy), and
+// reservations live in a separate journaled layer that
+// TruncateReservations can roll back to any pass prefix — the
+// changed-prefix contract the scheduler's replanning uses to reuse
+// untouched reservations verbatim. Queries in this mode overlay base and
+// reservation tiers; for times at or after the latest BeginPass they
+// answer exactly like a profile rebuilt from scratch. In the default
+// incremental path both tiers are chunked ordered indexes (skydex.go for
+// the base, resvindex.go for reservations): mutations are local chunk
+// edits, equal-time credit/occupancy pairs cancel on contact, expired
+// chunks fold behind the horizon in O(1), and the EarliestStart sweep
+// skips whole chunks per feasibility transition via per-chunk prefix
+// extrema. The pre-index machinery — append-only pending tier with
+// periodic merge, max/min-augmented skyline tree, flat reservation
+// slices — survives behind FlatReservations as the differentially-tested
+// reference. Either way the live delta count tracks the running and
+// planned jobs, not the history of the run.
 package profile
 
 import (
@@ -87,12 +92,44 @@ type Profile struct {
 	inc     bool
 	horizon float64 // latest BeginPass time; deltas at or before it fold
 
-	resv           []delta // sorted reservation tier
+	// Reservation layer. The default structure is the chunked ordered
+	// index ridx (O(log n + chunk) add/remove, directory-walk prefix
+	// sums); the flat tier pair below survives behind FlatReservations as
+	// the differentially-tested reference.
+	ridx     resvIndex
+	flatResv bool
+
+	resv           []delta // flat mode: sorted reservation tier
 	resvPrefix     []int
-	resvPend       []delta // recent reservations, sorted lazily
+	resvPend       []delta // flat mode: recent reservations, sorted lazily
 	resvPendSorted bool
 	resvLog        []Entry // placement-order reservation journal
-	resvMain       int     // resvLog[:resvMain] is folded into resv
+	resvMain       int     // flat mode: resvLog[:resvMain] is folded into resv
+
+	// truncWork counts journal entries reprocessed by
+	// TruncateReservations (suffix removals and prefix rebuilds) — the
+	// cost bound the truncate regression tests assert on.
+	truncWork int
+
+	// dex is the default incremental base tier: the chunked skyline index
+	// Occupy/Vacate edit in place (skydex.go). Exactly one of dex and the
+	// pending/deltas machinery above is live in incremental mode,
+	// selected by flatResv.
+	dex skyDex
+
+	// Query-entry memo (default incremental path): consecutive
+	// EarliestStart queries of a replanning pass share `from` over an
+	// unchanged base — only reservations move between them — so the base
+	// entry position and usage at `from` are cached under a version
+	// counter bumped by every base mutation and horizon fold.
+	// Reservation-tier changes (AddReservation, TruncateReservations)
+	// never touch it: reservations re-seek on every query.
+	ver      int     // base version; bumped on every dex mutation or fold
+	memoVer  int     // ver the memo was taken at; -1 when invalid
+	memoFrom float64 // NaN when invalid
+	memoCi   int     // dex chunk of the first delta with t > memoFrom
+	memoK    int     // in-chunk offset of that delta
+	memoP    int     // base usage at memoFrom
 
 	tree skyTree
 	// noTree disables the skyline-tree sweep (differential tests compare
@@ -102,8 +139,16 @@ type Profile struct {
 
 // New returns an empty profile for a machine of total processors.
 func New(total int) *Profile {
-	return &Profile{Total: total, pendingSorted: true, resvPendSorted: true}
+	return &Profile{Total: total, pendingSorted: true, resvPendSorted: true,
+		memoVer: -1, memoFrom: math.NaN()}
 }
+
+// FlatReservations selects the legacy flat reservation tier pair (merged
+// slice + lazily sorted pending slice) instead of the chunked ordered
+// reservation index — the differentially-tested reference wired to
+// sched.Compat.FlatReservations. It must be set before any reservations
+// are journaled and survives Reset.
+func (p *Profile) FlatReservations(on bool) { p.flatResv = on }
 
 // Reset empties the profile for a machine of total processors, retaining
 // the storage capacity of previous use. It lets a scheduler replan every
@@ -126,6 +171,10 @@ func (p *Profile) Reset(total int) {
 	p.resvPendSorted = true
 	p.resvLog = p.resvLog[:0]
 	p.resvMain = 0
+	p.ridx.reset()
+	p.dex.reset()
+	p.memoVer = -1
+	p.memoFrom = math.NaN()
 	p.tree.drop()
 }
 
@@ -139,14 +188,36 @@ func (p *Profile) Add(e Entry) {
 	p.basePush(e.Start, e.End, e.CPUs)
 }
 
-// basePush appends the delta pair of a (possibly negative) base usage
-// interval to the pending tier.
+// basePush records the delta pair of a (possibly negative) base usage
+// interval. The default incremental path edits the chunked skyline index
+// in place — deltas at or behind the horizon fold into the pending-base
+// offset, equal-time credit/occupancy pairs cancel on contact — while
+// the flat compat path and the non-incremental profile keep the O(1)
+// append sorted lazily at query time (bulk rebuilds push thousands of
+// entries between queries, where per-push insertion would be quadratic).
 func (p *Profile) basePush(start, end float64, d int) {
+	if p.inc && !p.flatResv {
+		p.ver++
+		p.dexPush(start, d)
+		p.dexPush(end, -d)
+		return
+	}
 	if n := len(p.pending); n > p.pendLo && start < p.pending[n-1].t {
 		p.pendingSorted = false
 	}
 	// end > start, so the second append never breaks sortedness on its own.
 	p.pending = append(p.pending, delta{t: start, d: d}, delta{t: end, d: -d})
+}
+
+// dexPush records one base delta in the chunked skyline index. A delta
+// at or behind the horizon is indistinguishable to every valid query, so
+// it folds straight into the pending-base offset.
+func (p *Profile) dexPush(t float64, d int) {
+	if t <= p.horizon {
+		p.pendBase += d
+		return
+	}
+	p.dex.insert(t, d)
 }
 
 // LoadReleases resets the profile to a machine of total processors and
@@ -183,7 +254,16 @@ func (p *Profile) StartEpoch(total int, now float64, rels []Release) {
 	p.LoadReleases(total, now, rels)
 	p.inc = true
 	p.horizon = now
-	p.tree.build(p.prefix)
+	if p.flatResv {
+		p.tree.build(p.prefix)
+		return
+	}
+	// Default path: move the freshly built (sorted, equal-time-merged)
+	// skyline into the chunked index and run from it.
+	p.dex.load(p.deltas)
+	p.deltas = p.deltas[:0]
+	p.prefix = p.prefix[:0]
+	p.ver++
 }
 
 // BeginPass advances the query horizon to the current pass time. Deltas
@@ -229,10 +309,15 @@ func (p *Profile) AddReservation(e Entry) {
 		return
 	}
 	p.nentries++
-	if n := len(p.resvPend); n > 0 && e.Start < p.resvPend[n-1].t {
-		p.resvPendSorted = false
+	if p.flatResv {
+		if n := len(p.resvPend); n > 0 && e.Start < p.resvPend[n-1].t {
+			p.resvPendSorted = false
+		}
+		p.resvPend = append(p.resvPend, delta{t: e.Start, d: e.CPUs}, delta{t: e.End, d: -e.CPUs})
+		return
 	}
-	p.resvPend = append(p.resvPend, delta{t: e.Start, d: e.CPUs}, delta{t: e.End, d: -e.CPUs})
+	p.ridx.insert(delta{t: e.Start, d: e.CPUs})
+	p.ridx.insert(delta{t: e.End, d: -e.CPUs})
 }
 
 // Reservations returns the number of journaled reservations.
@@ -240,9 +325,15 @@ func (p *Profile) Reservations() int { return len(p.resvLog) }
 
 // TruncateReservations rolls the reservation layer back to its first n
 // journal entries: the suffix a replanning pass invalidated is dropped,
-// everything before it stays placed verbatim. Dropping only journal
-// entries still in the pending tier is O(suffix); cutting into the merged
-// tier rebuilds it from the journal prefix.
+// everything before it stays placed verbatim. Truncating to the journal's
+// current length (repeated truncate-to-same-prefix included: the journal
+// shrank on the first call) is O(1). With the indexed tier the cost is
+// otherwise bounded by O(min(suffix, prefix)) chunk operations — dropped
+// entries are removed point-wise, unless the kept prefix is the smaller
+// side, in which case the index is rebuilt from it (and a full truncate
+// just resets it). The flat compat tier keeps its journal-replay
+// behavior: O(suffix) while the cut stays in the pending tier, a merged-
+// tier rebuild from the journal prefix below that.
 func (p *Profile) TruncateReservations(n int) {
 	if n < 0 {
 		n = 0
@@ -250,6 +341,53 @@ func (p *Profile) TruncateReservations(n int) {
 	if n >= len(p.resvLog) {
 		return
 	}
+	if p.flatResv {
+		p.truncFlat(n)
+	} else {
+		p.truncIndexed(n)
+	}
+	for _, e := range p.resvLog[n:] {
+		if e.End > e.Start && e.CPUs > 0 {
+			p.nentries--
+		}
+	}
+	p.resvLog = p.resvLog[:n]
+}
+
+// truncIndexed rolls the chunked reservation index back to the first n
+// journal entries, taking whichever side of the cut is cheaper.
+func (p *Profile) truncIndexed(n int) {
+	if n == 0 {
+		p.ridx.reset()
+		return
+	}
+	if len(p.resvLog)-n <= n {
+		for _, e := range p.resvLog[n:] {
+			if e.End <= e.Start || e.CPUs <= 0 {
+				continue
+			}
+			p.ridx.removeOne(e.Start, e.CPUs)
+			p.ridx.removeOne(e.End, -e.CPUs)
+		}
+		p.truncWork += len(p.resvLog) - n
+		return
+	}
+	// The kept prefix is the smaller side: rebuild the index from it.
+	ds := p.scratch[:0]
+	for _, e := range p.resvLog[:n] {
+		if e.End <= e.Start || e.CPUs <= 0 {
+			continue
+		}
+		ds = append(ds, delta{t: e.Start, d: e.CPUs}, delta{t: e.End, d: -e.CPUs})
+	}
+	slices.SortFunc(ds, deltaCmp)
+	p.ridx.load(ds)
+	p.scratch = ds[:0]
+	p.truncWork += n
+}
+
+// truncFlat is the flat compat tier's rollback (the pre-index behavior).
+func (p *Profile) truncFlat(n int) {
 	if n >= p.resvMain {
 		// The suffix lives entirely in the pending tier: rebuild it from
 		// the journal slice between the merged boundary and the cut.
@@ -264,6 +402,7 @@ func (p *Profile) TruncateReservations(n int) {
 			}
 			p.resvPend = append(p.resvPend, delta{t: e.Start, d: e.CPUs}, delta{t: e.End, d: -e.CPUs})
 		}
+		p.truncWork += n - p.resvMain
 	} else {
 		// The cut reaches into the merged tier: rebuild it from the kept
 		// journal prefix.
@@ -284,20 +423,15 @@ func (p *Profile) TruncateReservations(n int) {
 		p.resvMain = n
 		p.resvPend = p.resvPend[:0]
 		p.resvPendSorted = true
+		p.truncWork += n
 	}
-	for _, e := range p.resvLog[n:] {
-		if e.End > e.Start && e.CPUs > 0 {
-			p.nentries--
-		}
-	}
-	p.resvLog = p.resvLog[:n]
 }
 
 // BaseDeltas returns the live delta count of the base tiers — the
 // scheduler's trigger for re-anchoring an epoch when credit history has
 // accumulated past a multiple of the running set.
 func (p *Profile) BaseDeltas() int {
-	return len(p.deltas) + len(p.pending) - p.pendLo
+	return len(p.deltas) + len(p.pending) - p.pendLo + p.dex.len()
 }
 
 func deltaCmp(a, b delta) int {
@@ -316,13 +450,24 @@ func deltaCmp(a, b delta) int {
 // O(1) per mutation; between merges queries pay one extra scan over the
 // (bounded) pending tiers.
 func (p *Profile) prepare() {
+	if p.inc && !p.flatResv {
+		// Default incremental path: both chunked indexes are always
+		// ordered; folding expired leading chunks behind the horizon is
+		// all that remains, and it invalidates the query-entry memo.
+		if f := p.dex.foldTo(p.horizon); f != 0 {
+			p.pendBase += f
+			p.ver++
+		}
+		return
+	}
 	if !p.pendingSorted {
 		slices.SortFunc(p.pending[p.pendLo:], deltaCmp)
 		p.pendingSorted = true
 	}
 	if p.inc {
-		// Fold pending deltas that can no longer be distinguished by any
-		// valid query (t <= horizon) into a single usage offset.
+		// Flat compat path. Fold pending deltas that can no longer be
+		// distinguished by any valid query (t <= horizon) into a single
+		// usage offset.
 		for p.pendLo < len(p.pending) && p.pending[p.pendLo].t <= p.horizon {
 			p.pendBase += p.pending[p.pendLo].d
 			p.pendLo++
@@ -452,6 +597,9 @@ func (p *Profile) Len() int { return p.nentries }
 // after the latest BeginPass time.
 func (p *Profile) UsedAt(t float64) int {
 	p.prepare()
+	if p.inc && !p.flatResv {
+		return p.pendBase + p.dex.sumAt(t) + p.ridx.sumAt(t)
+	}
 	used := p.pendBase
 	if i := sort.Search(len(p.deltas), func(i int) bool { return p.deltas[i].t > t }); i > 0 {
 		used += p.prefix[i-1]
@@ -489,10 +637,36 @@ func (p *Profile) CanPlace(cpus int, start, dur float64) bool {
 }
 
 // ovCursor walks the overlay tiers (live pending deltas plus, in
-// incremental mode, both reservation tiers) as one merged stream.
+// incremental mode, the reservation tier — either the chunked index via
+// ix/ci/ck or the flat slice pair via b/c) as one merged stream.
 type ovCursor struct {
 	a, b, c []delta
 	i, j, k int
+
+	ix     *resvIndex // indexed reservation tier; nil when flat or exhausted
+	ci, ck int        // chunk / in-chunk position within ix
+}
+
+// ixPeek returns the time of the next indexed reservation delta.
+// The index cursor is kept normalized: ci < len(chunks) implies
+// ck < len(chunks[ci]).
+func (c *ovCursor) ixPeek() (float64, bool) {
+	if c.ix == nil || c.ci >= len(c.ix.chunks) {
+		return 0, false
+	}
+	return c.ix.chunks[c.ci][c.ck].t, true
+}
+
+// ixStep consumes the current indexed delta and rolls into the next
+// chunk at its end.
+func (c *ovCursor) ixStep() int {
+	d := c.ix.chunks[c.ci][c.ck].d
+	c.ck++
+	if c.ck >= len(c.ix.chunks[c.ci]) {
+		c.ci++
+		c.ck = 0
+	}
+	return d
 }
 
 // peek returns the next overlay time, +Inf when exhausted.
@@ -506,6 +680,9 @@ func (c *ovCursor) peek() float64 {
 	}
 	if c.k < len(c.c) && c.c[c.k].t < t {
 		t = c.c[c.k].t
+	}
+	if it, ok := c.ixPeek(); ok && it < t {
+		t = it
 	}
 	return t
 }
@@ -525,6 +702,13 @@ func (c *ovCursor) take(t float64) int {
 		d += c.c[c.k].d
 		c.k++
 	}
+	for {
+		it, ok := c.ixPeek()
+		if !ok || it != t {
+			break
+		}
+		d += c.ixStep()
+	}
 	return d
 }
 
@@ -543,6 +727,13 @@ func (c *ovCursor) skip(t float64) int {
 		d += c.c[c.k].d
 		c.k++
 	}
+	for {
+		it, ok := c.ixPeek()
+		if !ok || it > t {
+			break
+		}
+		d += c.ixStep()
+	}
 	return d
 }
 
@@ -551,61 +742,168 @@ func (c *ovCursor) skip(t float64) int {
 // when cpus exceeds the machine size. The usage at `from` comes from
 // binary searches over the prefix sums; the sweep then either walks the
 // sorted tiers forward with a merge cursor, or — in incremental mode —
-// descends the max/min-augmented skyline tree over the main tier in
-// O(log n) per feasibility transition, overlaying the small pending and
-// reservation tiers. In incremental mode from must be at or after the
-// latest BeginPass time.
+// jumps between feasibility transitions directly: the default path skips
+// whole chunks of the skyline index via their prefix extrema, the flat
+// compat path descends the max/min-augmented skyline tree, both
+// overlaying the reservation tier. In incremental mode from must be at
+// or after the latest BeginPass time.
 func (p *Profile) EarliestStart(cpus int, dur, from float64) float64 {
 	if cpus > p.Total {
 		return math.Inf(1)
 	}
 	p.prepare()
 	limit := p.Total - cpus
+	if p.inc {
+		if p.flatResv {
+			return p.earliestIncFlat(limit, dur, from)
+		}
+		return p.earliestIncDex(limit, dur, from)
+	}
 	i := sort.Search(len(p.deltas), func(k int) bool { return p.deltas[k].t > from })
 	baseU := 0
 	if i > 0 {
 		baseU = p.prefix[i-1]
 	}
 	ov := ovCursor{a: p.pending[p.pendLo:]}
-	if p.inc {
-		r := sort.Search(len(p.resv), func(k int) bool { return p.resv[k].t > from })
-		ov.b, ov.j = p.resv, r
-		rv := 0
-		if r > 0 {
-			rv = p.resvPrefix[r-1]
-		}
-		ov.c = p.resvPend
-		V := p.pendBase + rv + func() int {
-			d := 0
-			for ov.i < len(ov.a) && ov.a[ov.i].t <= from {
-				d += ov.a[ov.i].d
-				ov.i++
-			}
-			for ov.k < len(ov.c) && ov.c[ov.k].t <= from {
-				d += ov.c[ov.k].d
-				ov.k++
-			}
-			return d
-		}()
-		if !p.noTree && p.tree.len() == len(p.deltas) && len(p.deltas) >= skyTreeMin {
-			return p.earliestTree(i, baseU, V, ov, limit, dur, from)
-		}
-		return p.earliestLinear(i, baseU+V, ov, limit, dur, from)
-	}
 	used := baseU + p.pendBase + ov.skip(from)
-	return p.earliestLinear(i, used, ov, limit, dur, from)
+	return p.earliestLinear(p.deltas, i, used, ov, limit, dur, from)
 }
 
-// earliestLinear is the merge-cursor feasibility sweep over the main tier
-// and the overlay cursor. It is the reference the skyline-tree descent
-// must agree with exactly.
-func (p *Profile) earliestLinear(i, used int, ov ovCursor, limit int, dur, from float64) float64 {
-	if len(ov.b) == 0 && len(ov.c) == 0 {
+// earliestIncFlat is the flat-tier (compat) incremental query entry: the
+// pre-index behavior of lazily sorted pending slices overlaying the
+// merged main tier, swept by the skyline-tree descent.
+func (p *Profile) earliestIncFlat(limit int, dur, from float64) float64 {
+	i := sort.Search(len(p.deltas), func(k int) bool { return p.deltas[k].t > from })
+	baseU := 0
+	if i > 0 {
+		baseU = p.prefix[i-1]
+	}
+	ov := ovCursor{a: p.pending[p.pendLo:]}
+	V := p.pendBase + ov.skip(from)
+	r := sort.Search(len(p.resv), func(k int) bool { return p.resv[k].t > from })
+	ov.b, ov.j = p.resv, r
+	if r > 0 {
+		V += p.resvPrefix[r-1]
+	}
+	ov.c = p.resvPend
+	for ov.k < len(ov.c) && ov.c[ov.k].t <= from {
+		V += ov.c[ov.k].d
+		ov.k++
+	}
+	if !p.noTree && p.tree.len() == len(p.deltas) && len(p.deltas) >= skyTreeMin {
+		return p.earliestTree(i, baseU, V, ov, limit, dur, from)
+	}
+	return p.earliestLinear(p.deltas, i, baseU+V, ov, limit, dur, from)
+}
+
+// earliestIncDex is the default incremental query entry: the base tier
+// lives in the chunked skyline index and reservations in the chunked
+// reservation index. Consecutive queries of a replanning pass share
+// `from` over an unchanged base — only reservations move between them —
+// so the base entry position and usage are memoized under the base
+// version counter; AddReservation and TruncateReservations never
+// invalidate the memo because reservations re-seek on every query.
+func (p *Profile) earliestIncDex(limit int, dur, from float64) float64 {
+	var ci, k, P int
+	if p.ver == p.memoVer && from == p.memoFrom {
+		ci, k, P = p.memoCi, p.memoK, p.memoP
+	} else {
+		ci, k, P = p.dex.seek(from)
+		p.memoVer, p.memoFrom = p.ver, from
+		p.memoCi, p.memoK, p.memoP = ci, k, P
+	}
+	V := p.pendBase
+	var ov ovCursor
+	if p.ridx.size > 0 {
+		rci, rck, rv := p.ridx.seek(from)
+		V += rv
+		if rci < len(p.ridx.chunks) {
+			ov.ix, ov.ci, ov.ck = &p.ridx, rci, rck
+		}
+	}
+	if p.noTree {
+		return p.earliestDexLinear(P, V, ov, limit, dur, from)
+	}
+	return p.earliestDex(ci, k, P, V, ov, limit, dur, from)
+}
+
+// earliestDex is the chunk-skipping feasibility sweep over the skyline
+// index: between overlay (reservation) boundaries the base usage is
+// constant-shifted, so the next feasibility transition is found by
+// cross, which skips whole chunks whose prefix extrema exclude one.
+// Semantics are identical to earliestLinear over the materialized base.
+func (p *Profile) earliestDex(ci, k, P, V int, ov ovCursor, limit int, dur, from float64) float64 {
+	d := &p.dex
+	used := P + V
+	cand := from
+	for {
+		tOv := ov.peek()
+		// Sweep the base deltas before tOv under constant overlay V: base
+		// usage must stay at or below L for a window to be feasible.
+		L := limit - V
+		for {
+			above := used <= limit
+			nci, nk, nP, t, ip, ok := d.cross(ci, k, P, L, above, tOv)
+			ci, k, P = nci, nk, nP
+			if !ok {
+				// No more crossings before the boundary; the cursor sits on
+				// the first delta at or after it.
+				used = P + V
+				break
+			}
+			if above {
+				if t-cand >= dur {
+					return cand
+				}
+			} else {
+				// Violated segments end where the usage drops back to the
+				// limit: the candidate restarts at that boundary.
+				cand = t
+			}
+			used = ip + V
+		}
+		// The segment ending at the overlay boundary has constant usage.
+		if used > limit {
+			cand = tOv
+		} else if tOv-cand >= dur {
+			return cand // also the tOv = +Inf exit: the tail is free
+		}
+		if math.IsInf(tOv, 1) {
+			return cand
+		}
+		V += ov.take(tOv)
+		for ci < len(d.chunks) && d.chunks[ci].ds[k].t == tOv {
+			P += d.chunks[ci].ds[k].d
+			k++
+			if k == len(d.chunks[ci].ds) {
+				ci, k = ci+1, 0
+			}
+		}
+		used = P + V
+	}
+}
+
+// earliestDexLinear is the differential reference for the chunk-skipping
+// sweep: it materializes the skyline index into the scratch buffer and
+// runs the plain merge sweep over it.
+func (p *Profile) earliestDexLinear(P, V int, ov ovCursor, limit int, dur, from float64) float64 {
+	ds := p.scratch[:0]
+	p.dex.each(func(dd delta) bool { ds = append(ds, dd); return true })
+	i := sort.Search(len(ds), func(j int) bool { return ds[j].t > from })
+	res := p.earliestLinear(ds, i, P+V, ov, limit, dur, from)
+	p.scratch = ds[:0]
+	return res
+}
+
+// earliestLinear is the merge-cursor feasibility sweep over a sorted
+// base slice and the overlay cursor. It is the reference the
+// chunk-skipping and skyline-tree sweeps must agree with exactly.
+func (p *Profile) earliestLinear(main []delta, i, used int, ov ovCursor, limit int, dur, from float64) float64 {
+	if len(ov.b) == 0 && len(ov.c) == 0 && ov.ix == nil {
 		// Single overlay list (non-incremental mode, or an incremental
 		// profile with no reservations): the tight two-cursor merge.
-		return p.earliestTwoWay(i, used, ov.a, ov.i, limit, dur, from)
+		return p.earliestTwoWay(main, i, used, ov.a, ov.i, limit, dur, from)
 	}
-	main := p.deltas
 	cand := from
 	for {
 		t := ov.peek()
@@ -634,10 +932,9 @@ func (p *Profile) earliestLinear(i, used int, ov ovCursor, limit int, dur, from 
 	return cand
 }
 
-// earliestTwoWay sweeps the main tier against one pending list with the
+// earliestTwoWay sweeps the base slice against one pending list with the
 // minimal per-segment work; semantics are identical to earliestLinear.
-func (p *Profile) earliestTwoWay(i, used int, pend []delta, j, limit int, dur, from float64) float64 {
-	main := p.deltas
+func (p *Profile) earliestTwoWay(main []delta, i, used int, pend []delta, j, limit int, dur, from float64) float64 {
 	cand := from
 	for i < len(main) || j < len(pend) {
 		var t float64
@@ -677,7 +974,19 @@ func (p *Profile) earliestTree(i, baseU, V int, ov ovCursor, limit int, dur, fro
 		tOv := ov.peek()
 		iEnd := len(main)
 		if !math.IsInf(tOv, 1) {
-			iEnd = i + sort.Search(len(main)-i, func(k int) bool { return main[i+k].t >= tOv })
+			// Overlay boundaries only increase across the sweep, so gallop
+			// from the cursor (exponential probe, then binary search in the
+			// bracketed range) instead of binary-searching the whole
+			// remaining suffix at every boundary.
+			lo, hi := i, i
+			for step := 1; hi < len(main) && main[hi].t < tOv; step <<= 1 {
+				lo = hi + 1
+				hi += step
+			}
+			if hi > len(main) {
+				hi = len(main)
+			}
+			iEnd = lo + sort.Search(hi-lo, func(k int) bool { return main[lo+k].t >= tOv })
 		}
 		// Sweep the base range [i, iEnd) under constant overlay V: base
 		// usage must stay at or below L for the window to be feasible.

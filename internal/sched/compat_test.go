@@ -73,6 +73,10 @@ func TestCompatModesProduceIdenticalSchedules(t *testing.T) {
 		// The PR 3–5 memmove-backed release cache, the differential
 		// reference for the chunked ordered release index.
 		"slice-releases": {SliceReleases: true},
+		// The PR 6–8 flat profile tiers (pending buffer + skyline tree +
+		// flat reservation slices), the differential reference for the
+		// chunked skyline and reservation indexes.
+		"flat-resv": {FlatReservations: true},
 	}
 	for _, fx := range fixtures {
 		for pname, mk := range policies {
@@ -111,6 +115,15 @@ type varyingPolicy struct {
 }
 
 func (p varyingPolicy) Name() string { return "varying" }
+
+// EstMonotone marks the policy for the widened changed-prefix analysis:
+// as the start grows the decision flips gears[0] -> Top at the 120 s
+// wait boundary and never back, so it satisfies the monotonicity
+// contract while still being genuinely start-dependent — the compat
+// fixtures therefore differentially pin the widened reuse path against
+// every non-widened mode. boostingPolicy stays unmarked on purpose, so
+// the conservative any-mutation-replans path keeps coverage too.
+func (varyingPolicy) EstMonotone() {}
 
 func (p varyingPolicy) ReserveGear(j *workload.Job, start, now float64, wqOthers int) dvfs.Gear {
 	if wqOthers > 3 {

@@ -34,6 +34,28 @@ type GearPolicy interface {
 	BackfillGear(j *workload.Job, now float64, wqOthers int, feasible func(dvfs.Gear) bool) (dvfs.Gear, bool)
 }
 
+// EstMonotonePolicy marks a GearPolicy whose ReserveGear decision is
+// monotone in the start argument: for fixed job, pass time and queue
+// depth, the returned gear moves through the gear order in one
+// direction only as the candidate start grows (constant counts). The
+// scheduler's replanning uses the marker to widen its changed-prefix
+// analysis: when only job starts touched the base skyline since a
+// reservation was planned, the replanned earliest start can only have
+// drifted between the recorded top-gear estimate and the recorded
+// reservation start, so a decision that is monotone over that interval
+// and unchanged at both endpoints is provably unchanged everywhere in
+// it — the reservation is reused without replanning. Policies without
+// the marker keep the conservative analysis (any base mutation replans
+// from the head). A threshold policy over a predicted-slowdown that is
+// nondecreasing in the start qualifies; a policy keying on, say, start
+// parity would not.
+type EstMonotonePolicy interface {
+	GearPolicy
+	// EstMonotone is a marker; implementations assert the monotonicity
+	// contract above and never call it.
+	EstMonotone()
+}
+
 // PolicyCloner is implemented by stateful gear policies (typically ones
 // doubling as PowerControllers) that can mint an unbound copy of
 // themselves, so several executions — concurrent ones in particular —
@@ -101,3 +123,7 @@ func (p FixedGear) ReserveGear(*workload.Job, float64, float64, int) dvfs.Gear {
 func (p FixedGear) BackfillGear(j *workload.Job, now float64, wqOthers int, feasible func(dvfs.Gear) bool) (dvfs.Gear, bool) {
 	return p.Gear, feasible(p.Gear)
 }
+
+// EstMonotone implements EstMonotonePolicy: a constant decision is
+// trivially monotone in the start.
+func (FixedGear) EstMonotone() {}

@@ -121,13 +121,19 @@ type Compat struct {
 	// ordered release index. Kept as the differentially-tested reference
 	// and to quantify the index win on its own.
 	SliceReleases bool
+	// FlatReservations keeps the persistent profile's reservation layer
+	// in the flat tier pair (merged slice plus lazily re-sorted pending
+	// slice, the PR 5–8 path) instead of the chunked ordered reservation
+	// index. Kept as the differentially-tested reference and to quantify
+	// the index win on its own.
+	FlatReservations bool
 }
 
 // SeedCompat returns the full seed-era behavior: every hot-path
 // optimization disabled.
 func SeedCompat() Compat {
 	return Compat{UpfrontArrivals: true, ScanRemoval: true, ScratchAlloc: true,
-		RebuildProfile: true, SliceReleases: true}
+		RebuildProfile: true, SliceReleases: true, FlatReservations: true}
 }
 
 // Config assembles a simulated system.
@@ -223,12 +229,19 @@ type System struct {
 	// position whose reservation could move (the changed-prefix
 	// analysis). resvMeta records, per retained reservation, the inputs
 	// that planned it; profClean is how many leading entries the next
-	// pass may consider reusing; profMut notes a base mutation (start,
-	// completion, gear switch) since they were planned, which invalidates
-	// the whole prefix.
+	// pass may consider reusing; profMut notes a base mutation since they
+	// were planned that invalidates the whole prefix. Under the widened
+	// analysis (profWiden — the gear policy implements EstMonotonePolicy)
+	// only mutations that free capacity set it (completion, gear switch):
+	// a job start's occupancy was feasibility-validated against the full
+	// tier including every retained reservation, so it can neither delay
+	// a retained window nor open an earlier one, and cleanPrefix instead
+	// re-asks the gear decision at both ends of the interval the
+	// top-gear estimate may have drifted across.
 	resvMeta  []resvInfo
 	profLive  bool
 	profMut   bool
+	profWiden bool
 	profClean int
 
 	// rsPool recycles RunStates after their completion callbacks ran,
@@ -266,6 +279,7 @@ func New(cfg Config) (*System, error) {
 	s.relIncremental = !cfg.Compat.ScratchAlloc &&
 		(cfg.Variant == Conservative || (cfg.Variant == EASY && cfg.Reservations > 1))
 	s.relIndexed = s.relIncremental && !cfg.Compat.SliceReleases
+	_, s.profWiden = cfg.Policy.(EstMonotonePolicy)
 	s.engine.NoPool = cfg.Compat.ScratchAlloc
 	// A gear policy that is also a controller serves both seams: the
 	// per-job decisions through GearPolicy, the per-pass ones through
@@ -793,9 +807,11 @@ func (s *System) profilePass(now float64, maxRes int) {
 	s.setQueue(kept)
 	if incremental {
 		if s.profMut {
-			// A job started this pass: its occupancy changed the base
-			// every retained reservation was planned against, so the next
-			// pass must replan from the head.
+			// The base changed under the retained reservations in a way the
+			// reuse proof doesn't cover (under the widened analysis only
+			// freed capacity — a completion or gear switch — raises the
+			// flag; otherwise any start this pass does too): the next pass
+			// must replan from the head.
 			s.profClean = 0
 			s.profMut = false
 		} else {
@@ -814,6 +830,7 @@ func (s *System) profilePass(now float64, maxRes int) {
 func (s *System) persistentProfile(now float64) *profile.Profile {
 	if s.prof == nil {
 		s.prof = profile.New(s.cl.Total())
+		s.prof.FlatReservations(s.cfg.Compat.FlatReservations)
 	}
 	minRel, hasRel := s.minRelease()
 	if !s.profLive || (hasRel && minRel <= now) || s.prof.BaseDeltas() > 4*s.releaseCount()+256 {
@@ -849,14 +866,21 @@ func (s *System) truncResvMeta(n int) {
 // cleanPrefix returns how many leading queue positions keep their
 // retained reservations verbatim this pass. A position is reusable when
 // nothing its plan depends on can have changed: the base skyline is
-// untouched since it was planned (no start, completion or gear switch —
-// profMut), every earlier position is reused, the queue still holds the
-// same job there, its planning inputs are still in the future (est at or
-// after now, start strictly after — otherwise the job must be considered
-// for starting), and the gear policy, re-asked with the same earliest
-// start but this pass's queue depth, still picks the same gear. The
-// first position that fails dirties everything after it, which the
-// caller replans.
+// untouched in any way that could move its reservation (profMut — under
+// the conservative analysis any start, completion or gear switch; under
+// the widened one only completions and gear switches, since a start's
+// occupancy was validated against the full tier), every earlier position
+// is reused, the queue still holds the same job there, its planning
+// inputs are still in the future (est at or after now, start strictly
+// after — otherwise the job must be considered for starting), and the
+// gear policy, re-asked at this pass's queue depth, still picks the same
+// gear. Under the widened analysis added occupancy may have drifted the
+// top-gear estimate anywhere within [est, start] (occupancy only delays
+// it, and it never passes the reservation start the full-duration query
+// reproduces), so the decision is re-asked at both interval ends — for
+// an EstMonotonePolicy, unchanged at both endpoints means unchanged
+// across the interval. The first position that fails dirties everything
+// after it, which the caller replans.
 func (s *System) cleanPrefix(now float64, maxRes int) int {
 	limit := s.profClean
 	if s.profMut {
@@ -880,6 +904,10 @@ func (s *System) cleanPrefix(now float64, maxRes int) int {
 			break
 		}
 		if s.cfg.Policy.ReserveGear(m.job, m.est, now, wq) != m.gear {
+			break
+		}
+		if s.profWiden && m.start != m.est &&
+			s.cfg.Policy.ReserveGear(m.job, m.start, now, wq) != m.gear {
 			break
 		}
 		k++
@@ -918,12 +946,17 @@ func (s *System) start(j *workload.Job, g dvfs.Gear, now float64) {
 	rs.Reduced = !s.cfg.Gears.IsTop(g)
 	s.relAdd(rs)
 	if s.profLive {
-		// Keep the persistent profile's base skyline current: the new
-		// occupancy invalidates retained reservations (profMut). The
-		// clamp gives zero-duration jobs (ReqTime 0) a one-ulp occupancy:
-		// they hold their processors at `now` itself, so later placements
-		// in the same pass cannot over-commit the machine.
-		s.profMut = true
+		// Keep the persistent profile's base skyline current. Under the
+		// conservative analysis the new occupancy invalidates retained
+		// reservations (profMut); under the widened one it cannot — it was
+		// feasibility-validated against the full tier including them, so
+		// it neither delays a retained window nor opens an earlier one.
+		// The clamp gives zero-duration jobs (ReqTime 0) a one-ulp
+		// occupancy: they hold their processors at `now` itself, so later
+		// placements in the same pass cannot over-commit the machine.
+		if !s.profWiden {
+			s.profMut = true
+		}
 		rs.profEnd = clampRelease(rs.PlannedEnd, now)
 		s.prof.Occupy(j.Procs, now, rs.profEnd)
 	}
