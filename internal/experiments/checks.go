@@ -109,17 +109,29 @@ func RunChecks(s *Suite) ([]Check, error) {
 	add("removing the WQ limit saves at least as much", wqMonotone, "checked all 15 pairs")
 
 	// 5. Average savings band at the paper's settings.
-	avg := func(thr float64, wq int) float64 {
+	avg := func(thr float64, wq int) (float64, error) {
 		sum := 0.0
 		for _, w := range Workloads() {
-			base, _ := s.baselineCell(w)
-			c, _ := s.Cell(Config{Workload: w, BSLDThr: thr, WQThr: wq})
+			base, err := s.baselineCell(w)
+			if err != nil {
+				return 0, err
+			}
+			c, err := s.Cell(Config{Workload: w, BSLDThr: thr, WQThr: wq})
+			if err != nil {
+				return 0, err
+			}
 			sum += 100 * (1 - c.Results.CompEnergy/base.Results.CompEnergy)
 		}
-		return sum / float64(len(Workloads()))
+		return sum / float64(len(Workloads())), nil
 	}
-	conservativeAvg := avg(1.5, 0)
-	aggressiveAvg := avg(3, core.NoWQLimit)
+	conservativeAvg, err := avg(1.5, 0)
+	if err != nil {
+		return nil, err
+	}
+	aggressiveAvg, err := avg(3, core.NoWQLimit)
+	if err != nil {
+		return nil, err
+	}
 	add("average savings rise with permissiveness toward the paper's band",
 		conservativeAvg > 2 && aggressiveAvg > conservativeAvg && aggressiveAvg < 45,
 		"(1.5,0): %.1f%%, (3,NO): %.1f%% (paper: 7–18%% avg, 22%% best)",
@@ -128,8 +140,14 @@ func RunChecks(s *Suite) ([]Check, error) {
 	// 6. DVFS worsens average BSLD.
 	penaltyOK := true
 	for _, w := range Workloads() {
-		base, _ := s.baselineCell(w)
-		c, _ := s.Cell(Config{Workload: w, BSLDThr: 3, WQThr: core.NoWQLimit})
+		base, err := s.baselineCell(w)
+		if err != nil {
+			return nil, err
+		}
+		c, err := s.Cell(Config{Workload: w, BSLDThr: 3, WQThr: core.NoWQLimit})
+		if err != nil {
+			return nil, err
+		}
 		if c.Results.AvgBSLD < base.Results.AvgBSLD*0.9 {
 			penaltyOK = false
 		}
@@ -142,7 +160,10 @@ func RunChecks(s *Suite) ([]Check, error) {
 	if s.Jobs() >= 4000 {
 		perfOK := 0
 		for _, w := range []string{"CTC", "SDSC", "SDSCBlue"} {
-			base, _ := s.baselineCell(w)
+			base, err := s.baselineCell(w)
+			if err != nil {
+				return nil, err
+			}
 			c, err := s.Cell(Config{Workload: w, BSLDThr: 2, WQThr: 0, SizeFactor: 1.2})
 			if err != nil {
 				return nil, err
@@ -161,7 +182,10 @@ func RunChecks(s *Suite) ([]Check, error) {
 	// energy cut the paper quotes.
 	sumSave := 0.0
 	for _, w := range Workloads() {
-		base, _ := s.baselineCell(w)
+		base, err := s.baselineCell(w)
+		if err != nil {
+			return nil, err
+		}
 		c, err := s.Cell(Config{Workload: w, BSLDThr: 2, WQThr: core.NoWQLimit, SizeFactor: 1.2})
 		if err != nil {
 			return nil, err
@@ -198,8 +222,14 @@ func RunChecks(s *Suite) ([]Check, error) {
 	nonMono := false
 	for _, w := range Workloads() {
 		for _, wq := range WQThresholds() {
-			lo, _ := s.Cell(Config{Workload: w, BSLDThr: 1.5, WQThr: wq})
-			hi, _ := s.Cell(Config{Workload: w, BSLDThr: 2, WQThr: wq})
+			lo, err := s.Cell(Config{Workload: w, BSLDThr: 1.5, WQThr: wq})
+			if err != nil {
+				return nil, err
+			}
+			hi, err := s.Cell(Config{Workload: w, BSLDThr: 2, WQThr: wq})
+			if err != nil {
+				return nil, err
+			}
 			if hi.Results.ReducedJobs < lo.Results.ReducedJobs {
 				nonMono = true
 			}
