@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCleanTreeExitsZero is the CLI-level counterpart of the driver test:
+// the shipped tree must be finding-free.
+func TestCleanTreeExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"repro/..."}); code != 0 {
+		t.Fatalf("exit %d on the real tree\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run wrote diagnostics:\n%s", stdout.String())
+	}
+}
+
+// TestJSONOnBadFixture drives the srcerr fixture through the real CLI:
+// findings exit 1 and arrive as machine-readable JSON.
+func TestJSONOnBadFixture(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(&stdout, &stderr, []string{"-json", "../../internal/analysis/testdata/src/srcerr"})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostics array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "srcerr" {
+			t.Errorf("unexpected analyzer %q on the srcerr fixture: %+v", d.Analyzer, d)
+		}
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("diagnostic missing position or message: %+v", d)
+		}
+	}
+}
+
+// TestJSONCleanEmitsEmptyArray pins the machine-readable contract for
+// the common case: clean output is [], never null.
+func TestJSONCleanEmitsEmptyArray(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-json", "repro/internal/dvfs"}); code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+func TestHumanFindingsExitOne(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(&stdout, &stderr, []string{"../../internal/analysis/testdata/src/srcerr"})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "[srcerr]") {
+		t.Errorf("human output lacks analyzer attribution:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("missing summary line on stderr:\n%s", stderr.String())
+	}
+}
+
+func TestUsageAndLoadErrorsExitTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-no-such-flag"}); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "retain") {
+		t.Errorf("usage does not list the analyzers:\n%s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run(&stdout, &stderr, []string{"./no/such/package"}); code != 2 {
+		t.Errorf("broken pattern: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,118 @@
+// Package antest is a miniature analysistest for the reprovet suite: it
+// runs one analyzer over a fixture package under testdata/src and matches
+// the diagnostics against `// want` comments in the fixture sources:
+//
+//	x := rand.Int() // want `uses the process-global random source`
+//
+// A want comment carries one or more quoted or backquoted Go string
+// literals; each is a regexp that must match one diagnostic reported on
+// that line. Diagnostics without a matching want, and wants no diagnostic
+// matched, fail the test — so fixtures pin both that bad patterns are
+// flagged and that allowed patterns stay silent.
+package antest
+
+import (
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var (
+	once   sync.Once
+	shared *analysis.Loader
+)
+
+// Loader returns the process-wide fixture loader. Sharing one loader
+// across tests shares its FileSet and export-data index, so every fixture
+// after the first type-checks without re-running `go list`.
+func Loader() *analysis.Loader {
+	once.Do(func() { shared = analysis.NewLoader() })
+	return shared
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantRe = regexp.MustCompile(`^//\s*want\s+(.+)$`)
+	litRe  = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// Run loads dir as a package with import path asPath, applies the one
+// analyzer, and checks its diagnostics against the fixture's want
+// comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := Loader().LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s diagnostic matched `%s`", w.file, w.line, a.Name, w.re)
+		}
+	}
+}
+
+// collectWants parses every want comment of the fixture package.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lits := litRe.FindAllString(m[1], -1)
+				if len(lits) == 0 {
+					t.Fatalf("%s:%d: want comment carries no string literal", pos.Filename, pos.Line)
+				}
+				for _, lit := range lits {
+					s, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// regexp matches its message.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/antest"
+)
+
+// TestRepoClean is the driver test wiring reprovet into plain
+// `go test ./...`: every analyzer must report zero findings on the whole
+// module. For retain and determinism this pins an all-clean state; for
+// hashcover it re-proves the coverage declaration in
+// internal/scenario/hash.go against the real Spec on every test run, so
+// adding a Spec field without deciding its hash status fails tier-1, not
+// just CI.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := antest.Loader().Load("repro/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+
+	// The pins below are only meaningful if the load actually covered the
+	// packages each contract lives in.
+	must := map[string]bool{"repro/internal/scenario": false, "repro/internal/experiments": false}
+	for _, p := range analysis.CorePackages {
+		must[p] = false
+	}
+	for _, pkg := range pkgs {
+		if _, ok := must[pkg.Path]; ok {
+			must[pkg.Path] = true
+		}
+	}
+	for path, seen := range must {
+		if !seen {
+			t.Fatalf("load of repro/... missed %s; the clean-run pin would be vacuous", path)
+		}
+	}
+
+	for _, a := range analysis.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}

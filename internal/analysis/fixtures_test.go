@@ -1,0 +1,61 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/antest"
+)
+
+func fixture(dir string) string {
+	return filepath.Join("testdata", "src", dir)
+}
+
+func TestRetainFixture(t *testing.T) {
+	antest.Run(t, analysis.Retain, fixture("retain"),
+		"repro/internal/analysis/testdata/src/retain")
+}
+
+func TestHashCoverFixtures(t *testing.T) {
+	// Every fixture poses as a different synthetic import path: hashcover
+	// anchors on the package name and Spec struct, exactly like the real
+	// repro/internal/scenario package.
+	for _, dir := range []string{
+		"hashcover_ok",
+		"hashcover_missing",
+		"hashcover_stale",
+		"hashcover_undeclared",
+	} {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			antest.Run(t, analysis.HashCover, fixture(dir), "fix/"+dir)
+		})
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	// Posing as a deterministic-core package, the fixture's wants fire.
+	antest.Run(t, analysis.Determinism, fixture("determinism"), analysis.CorePackages[0])
+}
+
+func TestDeterminismIgnoresNonCorePackages(t *testing.T) {
+	// The same nondeterministic code outside the core is out of scope:
+	// parallelism and wall-clock time belong to the sweep/server layers.
+	pkg, err := antest.Loader().LoadDir(fixture("determinism"), "repro/internal/experiments/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("determinism fired outside the core: %s", d)
+	}
+}
+
+func TestSrcErrFixture(t *testing.T) {
+	antest.Run(t, analysis.SrcErr, fixture("srcerr"),
+		"repro/internal/analysis/testdata/src/srcerr")
+}

@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/antest"
+)
+
+func TestLoadTypechecksFromExportData(t *testing.T) {
+	pkgs, err := antest.Loader().Load("repro/internal/scenario")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Name != "scenario" || pkg.Path != "repro/internal/scenario" {
+		t.Fatalf("got %s (%s)", pkg.Path, pkg.Name)
+	}
+	if pkg.Types.Scope().Lookup("Spec") == nil {
+		t.Error("type-checked scenario package lacks Spec in its scope")
+	}
+	if len(pkg.Info.Defs) == 0 || len(pkg.Info.Uses) == 0 {
+		t.Error("type info tables are empty; analyzers would be blind")
+	}
+	// Imports must resolve through export data, not be faked as empty.
+	found := false
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == "repro/internal/sched" && imp.Scope().Lookup("RunState") != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("scenario's sched import carries no RunState; export data did not load")
+	}
+}
+
+func TestLoadDirRejectsMissingDirectory(t *testing.T) {
+	_, err := antest.Loader().LoadDir("testdata/src/no_such_fixture", "fix/none")
+	if err == nil {
+		t.Fatal("want an error for a missing fixture directory")
+	}
+}
+
+func TestLoadReportsBrokenPatterns(t *testing.T) {
+	_, err := analysis.NewLoader().Load("./no/such/package")
+	if err == nil || !strings.Contains(err.Error(), "go list") {
+		t.Fatalf("want a go list error, got %v", err)
+	}
+}

@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Retain enforces the RunState pooling contract (internal/sched pools
+// run states and recycles them once JobFinished returns): lifecycle
+// observers — implementations of sched.Recorder or sched.GearObserver —
+// must not store a pooled *sched.RunState, or pooled memory reachable
+// from one (rs.Phases, rs.Alloc.Runs, &rs.Alloc, ...), into a struct
+// field, map or slice element, or package-level variable. Storing
+// rs.Job is allowed: jobs live in the workload arena, not the pool.
+// Package-level stores of *sched.RunState are flagged in every function
+// of every package, observer or not.
+//
+// A store that is provably released again before the pool recycles the
+// run state (e.g. tracked between JobStarted and JobFinished and deleted
+// in the latter) can be waived with //lint:retain <justification>.
+var Retain = &Analyzer{
+	Name: "retain",
+	Doc:  "recorders must not retain pooled *sched.RunState past their callbacks",
+	Run:  runRetain,
+}
+
+const schedPath = "repro/internal/sched"
+
+func runRetain(pass *Pass) error {
+	schedPkg := findPackage(pass.Pkg, schedPath)
+	if schedPkg == nil {
+		return nil // the package cannot even name a RunState
+	}
+	rsObj := schedPkg.Scope().Lookup("RunState")
+	if rsObj == nil {
+		return nil
+	}
+	ptrRS := types.NewPointer(rsObj.Type())
+	recorder := lookupInterface(schedPkg, "Recorder")
+	gearObs := lookupInterface(schedPkg, "GearObserver")
+
+	var jobPtr types.Type
+	if wl := findPackage(pass.Pkg, "repro/internal/workload"); wl != nil {
+		if job := wl.Scope().Lookup("Job"); job != nil {
+			jobPtr = types.NewPointer(job.Type())
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			observer := false
+			if fn.Recv != nil && len(fn.Recv.List) == 1 {
+				if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+					if recv := obj.Type().(*types.Signature).Recv(); recv != nil {
+						t := recv.Type()
+						observer = implementsEither(t, recorder) || implementsEither(t, gearObs)
+					}
+				}
+			}
+			checkRetainStores(pass, fn.Body, observer, ptrRS, jobPtr)
+		}
+	}
+	return nil
+}
+
+// checkRetainStores flags assignments that store retentive values into
+// escaping destinations. Inside observer methods any field, element or
+// package-variable store escapes; elsewhere only package-variable stores
+// are checked (an arbitrary consumer may own RunState storage — the
+// scheduler itself does — but a global store outlives every run).
+func checkRetainStores(pass *Pass, body ast.Node, observer bool, ptrRS types.Type, jobPtr types.Type) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			// A single multi-value RHS is a call or comma-ok expression:
+			// its results are fresh values, never a pooled pointer the
+			// callee still owns that we could alias here.
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			kind, escaping := retainDest(pass, lhs, observer)
+			if !escaping {
+				continue
+			}
+			for _, bad := range retentiveExprs(pass, as.Rhs[i], ptrRS, jobPtr) {
+				what := "pooled *sched.RunState"
+				if !types.Identical(pass.Info.TypeOf(bad), ptrRS) {
+					what = "pooled memory reachable from a *sched.RunState"
+				}
+				pass.Reportf(bad.Pos(),
+					"stores %s into %s: the scheduler recycles run states after JobFinished; copy the data (or key by rs.Job.ID) instead",
+					what, kind)
+			}
+		}
+		return true
+	})
+}
+
+// retainDest classifies an assignment destination. observer widens the
+// escaping set from package variables to fields and elements.
+func retainDest(pass *Pass, lhs ast.Expr, observer bool) (string, bool) {
+	switch e := unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return "a struct field", observer
+	case *ast.IndexExpr:
+		return "a map or slice element", observer
+	case *ast.StarExpr:
+		return "shared memory through a pointer", observer
+	case *ast.Ident:
+		if obj, ok := pass.Info.ObjectOf(e).(*types.Var); ok && obj.Parent() == pass.Pkg.Scope() {
+			return "a package-level variable", true
+		}
+	}
+	return "", false
+}
+
+// retentiveExprs walks a stored value and collects the sub-expressions
+// that would retain pooled memory: any *sched.RunState, and any
+// reference-typed (pointer/slice/map) selector chain rooted at one —
+// except rs.Job, which outlives the pool. The walk prunes at calls
+// (their results are fresh) other than append, whose arguments all flow
+// into the stored slice (including the first: append may reuse its
+// backing array).
+func retentiveExprs(pass *Pass, rhs ast.Expr, ptrRS types.Type, jobPtr types.Type) []ast.Expr {
+	var bad []ast.Expr
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false // closure capture is out of scope here
+			case *ast.CallExpr:
+				if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" {
+					if obj, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin); isBuiltin && obj != nil {
+						for _, arg := range x.Args {
+							walk(arg)
+						}
+					}
+				}
+				return false
+			case ast.Expr:
+				if isRetentive(pass, x, ptrRS, jobPtr) {
+					bad = append(bad, x)
+					return false // report the outermost retentive chain once
+				}
+				switch x.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr:
+					// A non-retentive projection (rs.Start, a copied
+					// rs.Alloc.Runs[i] element, ...) derives a fresh value;
+					// its base never flows into the store, so descending
+					// would false-positive on the bare rs underneath.
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(rhs)
+	return bad
+}
+
+// isRetentive reports whether the expression's value aliases pooled
+// RunState memory.
+func isRetentive(pass *Pass, e ast.Expr, ptrRS types.Type, jobPtr types.Type) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if types.Identical(t, ptrRS) {
+		return true
+	}
+	if jobPtr != nil && types.Identical(t, jobPtr) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+	default:
+		return false
+	}
+	return rootedAtRunState(pass, e, ptrRS)
+}
+
+// rootedAtRunState reports whether e is a selector/index/slice/deref
+// chain with a prefix of type *sched.RunState (rs.Phases, rs.Alloc.Runs,
+// (&rs.Alloc), rs.Phases[1:], ...).
+func rootedAtRunState(pass *Pass, e ast.Expr, ptrRS types.Type) bool {
+	for {
+		e = unparen(e)
+		if t := pass.Info.TypeOf(e); t != nil && types.Identical(t, ptrRS) {
+			return true
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

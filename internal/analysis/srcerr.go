@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SrcErr enforces the streaming-error contract: a workload.JobSource
+// signals failure out of band (Next returns false, the cause waits in
+// Err()), so a drain loop that never asks Err() silently truncates the
+// workload on a failed stream — the bug class PR 4 converted panics
+// into. Two checks, both non-test code only:
+//
+//   - a for/range loop pulling src.Next() inside a function that never
+//     calls Err() on any JobSource is flagged, unless the function is
+//     itself a method of a JobSource implementation (combinators
+//     propagate the inner error through their own Err by contract);
+//   - an error result discarded with a blank identifier (`_ = f()`,
+//     `v, _ := g()` where the blank slot is an error) is flagged —
+//     comma-ok booleans are not errors and stay allowed.
+//
+// A deliberate discard can be waived with //lint:srcerr <justification>.
+var SrcErr = &Analyzer{
+	Name: "srcerr",
+	Doc:  "JobSource drain loops must check Err(); error results must not be blank-discarded",
+	Run:  runSrcErr,
+}
+
+const workloadPath = "repro/internal/workload"
+
+func runSrcErr(pass *Pass) error {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	var jobSource *types.Interface
+	if wl := findPackage(pass.Pkg, workloadPath); wl != nil {
+		jobSource = lookupInterface(wl, "JobSource")
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBlankErrors(pass, fn.Body, errIface)
+			if jobSource != nil {
+				checkDrainLoops(pass, fn, jobSource)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBlankErrors flags error values assigned to the blank identifier.
+func checkBlankErrors(pass *Pass, body ast.Node, errIface *types.Interface) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok || id.Name != "_" {
+				continue
+			}
+			t := blankSlotType(pass, as, i)
+			if t == nil {
+				continue
+			}
+			if !types.Implements(t, errIface) {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"error result discarded with the blank identifier: handle or propagate it (a swallowed error here reports success on a failed run)")
+		}
+		return true
+	})
+}
+
+// blankSlotType resolves the type of assignment slot i: direct for an
+// N:N assignment, the i-th tuple element for a single multi-value RHS
+// (calls and comma-ok expressions both record a tuple).
+func blankSlotType(pass *Pass, as *ast.AssignStmt, i int) types.Type {
+	if len(as.Lhs) == len(as.Rhs) {
+		return pass.Info.TypeOf(as.Rhs[i])
+	}
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	tup, ok := pass.Info.TypeOf(as.Rhs[0]).(*types.Tuple)
+	if !ok || i >= tup.Len() {
+		return nil
+	}
+	return tup.At(i).Type()
+}
+
+// checkDrainLoops flags loops that pull from a JobSource inside a
+// function that never consults Err().
+func checkDrainLoops(pass *Pass, fn *ast.FuncDecl, jobSource *types.Interface) {
+	// Combinators: a JobSource wrapping another propagates the inner
+	// error through its own Err() by contract; its Next() drain loop is
+	// not a silent truncation.
+	if fn.Recv != nil {
+		if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+			if recv := obj.Type().(*types.Signature).Recv(); recv != nil {
+				if implementsEither(recv.Type(), jobSource) {
+					return
+				}
+			}
+		}
+	}
+	sourceCall := func(n ast.Node, method string) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return false
+		}
+		t := pass.Info.TypeOf(sel.X)
+		return t != nil && implementsEither(t, jobSource)
+	}
+	errChecked := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sourceCall(n, "Err") {
+			errChecked = true
+		}
+		return !errChecked
+	})
+	if errChecked {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		drains := false
+		ast.Inspect(body, func(m ast.Node) bool {
+			if sourceCall(m, "Next") {
+				drains = true
+			}
+			return !drains
+		})
+		if drains {
+			pass.Reportf(n.Pos(),
+				"loop drains a workload.JobSource but the function never checks Err(): a failed stream truncates the workload silently; check src.Err() after the loop")
+			return false // one report per outermost draining loop
+		}
+		return true
+	})
+}

@@ -1,0 +1,78 @@
+// Package detfix exercises the determinism analyzer. The fixture test
+// loads it posing as a deterministic-core import path; a second load
+// under a non-core path must produce no findings at all.
+package detfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func spawn(done chan struct{}) {
+	go func() { // want `goroutine spawned in deterministic core package`
+		done <- struct{}{}
+	}()
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `simulated time must come from the event clock, never the wall clock`
+}
+
+func globalRand() int {
+	return rand.Int() // want `math/rand\.Int uses the process-global random source`
+}
+
+func mapOrder(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `iterates map m with the key or value observed`
+		sum += v
+	}
+	return sum
+}
+
+// Allowed patterns: none of the functions below may be flagged.
+
+func count(m map[string]float64) int {
+	n := 0
+	for range m { // counting never observes the nondeterministic order
+		n++
+	}
+	return n
+}
+
+func blanks(m map[string]float64) int {
+	n := 0
+	for _, _ = range m { // both positions blank: still order-blind
+		n++
+	}
+	return n
+}
+
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // explicit seeding is the fix, not a finding
+	return r.Float64()                  // methods on a seeded *rand.Rand are fine
+}
+
+func elapsed(start, now time.Time) time.Duration {
+	return now.Sub(start) // arithmetic on supplied times is fine; only the wall-clock entry points are banned
+}
+
+func waived(m map[int]bool) int {
+	n := 0
+	//lint:nondeterm counting set bits is order-insensitive
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func badWaiver(m map[int]int) int {
+	s := 0
+	//lint:nondeterm
+	for _, v := range m { // want `escape present but lacks the required justification`
+		s += v
+	}
+	return s
+}

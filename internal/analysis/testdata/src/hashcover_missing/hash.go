@@ -1,0 +1,40 @@
+// Package scenario (fixture) adds Spec fields without deciding their
+// hash status — the exact mistake hashcover exists to catch. Compat is
+// in neither map (the canonical failure), Jobs is in both, and Keep's
+// allowlist entry carries no justification.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Spec grew fields its coverage declaration never decided on.
+type Spec struct {
+	Workload string
+	Jobs     int    // want `scenario\.Spec field Jobs is declared both hashed \(hashedVia\) and result-neutral \(hashNeutral\)`
+	Compat   string // want `scenario\.Spec field Compat is neither folded into the canonical hash \(hashedVia\) nor in the documented result-neutral allowlist \(hashNeutral\)`
+	Keep     bool
+}
+
+// Scenario is the compiled form.
+type Scenario struct {
+	wdesc string
+}
+
+func (s *Scenario) contentHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "workload=%s\n", s.wdesc)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+var hashedVia = map[string]string{
+	"Workload": "wdesc",
+	"Jobs":     "wdesc",
+}
+
+var hashNeutral = map[string]string{
+	"Jobs": "folded into the workload descriptor already",
+	"Keep": "", // want `hashNeutral entry "Keep" carries no justification`
+}

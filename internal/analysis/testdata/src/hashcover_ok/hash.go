@@ -1,0 +1,38 @@
+// Package scenario (fixture) satisfies the hashcover contract: every
+// Spec field is declared exactly once, no stale entries, every carrier
+// read by contentHash. The analyzer must stay silent.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Spec mirrors the real scenario.Spec shape at miniature scale.
+type Spec struct {
+	Workload string
+	CPUs     int
+	Keep     bool
+}
+
+// Scenario is the compiled form.
+type Scenario struct {
+	wdesc string
+	cpus  int
+}
+
+func (s *Scenario) contentHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "workload=%s\ncpus=%d\n", s.wdesc, s.cpus)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+var hashedVia = map[string]string{
+	"Workload": "wdesc",
+	"CPUs":     "cpus",
+}
+
+var hashNeutral = map[string]string{
+	"Keep": "retained records fold online bit-identically",
+}

@@ -1,0 +1,40 @@
+// Package scenario (fixture) carries a coverage declaration that rotted:
+// entries naming renamed-away Spec fields, and a carrier contentHash
+// stopped reading.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Spec lost its Renamed field; the maps kept it.
+type Spec struct {
+	Workload string
+	CPUs     int
+}
+
+// Scenario is the compiled form; cpus is declared but never hashed.
+type Scenario struct {
+	wdesc string
+	cpus  int
+}
+
+func (s *Scenario) contentHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "workload=%s\n", s.wdesc)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Scenario) size() int { return s.cpus }
+
+var hashedVia = map[string]string{
+	"Workload": "wdesc",
+	"CPUs":     "cpus",  // want `hashedVia says Spec\.CPUs flows into the hash through Scenario field "cpus", but contentHash never reads s\.cpus`
+	"Renamed":  "wdesc", // want `hashedVia entry "Renamed" names no scenario\.Spec field`
+}
+
+var hashNeutral = map[string]string{
+	"Gone": "a justification for a field that no longer exists", // want `hashNeutral entry "Gone" names no scenario\.Spec field`
+}

@@ -1,0 +1,8 @@
+// Package scenario (fixture) declares a Spec but no coverage maps at
+// all: the contract cannot even be checked, which is itself the finding.
+package scenario
+
+// Spec has no hashedVia/hashNeutral declaration anywhere in the package.
+type Spec struct { // want `package scenario declares no hashedVia/hashNeutral coverage maps next to contentHash`
+	Workload string
+}

@@ -1,0 +1,63 @@
+// Package retainfix exercises the retain analyzer: lifecycle observers
+// storing pooled RunState memory are flagged; copies, rs.Job stores and
+// justified escapes are not.
+package retainfix
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// leakySink retains pooled memory from its callbacks; every store below
+// is a finding.
+type leakySink struct {
+	last    *sched.RunState
+	byJob   map[int]*sched.RunState
+	runs    []cluster.Run
+	history []*sched.RunState
+}
+
+func (s *leakySink) JobStarted(rs *sched.RunState, now float64) {
+	s.last = rs             // want `stores pooled \*sched\.RunState into a struct field`
+	s.byJob[rs.Job.ID] = rs // want `stores pooled \*sched\.RunState into a map or slice element`
+}
+
+func (s *leakySink) JobFinished(rs *sched.RunState, now float64) {
+	s.runs = rs.Alloc.Runs            // want `stores pooled memory reachable from a \*sched\.RunState into a struct field`
+	s.history = append(s.history, rs) // want `stores pooled \*sched\.RunState into a struct field`
+}
+
+// lastState is a package-level store: flagged in every function of every
+// package, observer or not — a global outlives every run.
+var lastState *sched.RunState
+
+func stash(rs *sched.RunState) {
+	lastState = rs // want `stores pooled \*sched\.RunState into a package-level variable`
+}
+
+// goodSink copies what it needs out of the pooled state; nothing below
+// is flagged.
+type goodSink struct {
+	firstSubmit float64
+	jobs        map[int]*workload.Job
+	phases      []sched.Phase
+	procs       int
+}
+
+func (s *goodSink) JobStarted(rs *sched.RunState, now float64) {
+	s.firstSubmit = rs.Job.Submit // a copied float: projections derive fresh values
+	s.jobs[rs.Job.ID] = rs.Job    // jobs live in the workload arena, not the pool
+	s.procs = rs.Alloc.Count()    // call results are fresh
+}
+
+func (s *goodSink) JobFinished(rs *sched.RunState, now float64) {
+	//lint:retain append copies the Phase values out of the pooled backing array
+	s.phases = append(s.phases, rs.Phases...)
+}
+
+// localUse keeps rs in locals only — out of scope for the analyzer.
+func localUse(rs *sched.RunState) float64 {
+	held := rs
+	return held.Start
+}

@@ -1,0 +1,93 @@
+// Package srcfix exercises the srcerr analyzer: blank-discarded errors
+// and Err()-less JobSource drain loops are flagged; comma-ok booleans,
+// checked drains, combinator methods and justified escapes are not.
+package srcfix
+
+import (
+	"strconv"
+
+	"repro/internal/workload"
+)
+
+func doWork() error { return nil }
+
+func swallowDirect() {
+	_ = doWork() // want `error result discarded with the blank identifier`
+}
+
+func swallowTuple() int {
+	n, _ := strconv.Atoi("7") // want `error result discarded with the blank identifier`
+	return n
+}
+
+func handled() (int, error) {
+	n, err := strconv.Atoi("7")
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func commaOK(m map[string]int) int {
+	v, _ := m["k"] // the blank slot is a bool, not an error
+	return v
+}
+
+func waivedDiscard() {
+	//lint:srcerr best-effort cleanup; failure cannot change any result
+	_ = doWork()
+}
+
+// drainNoErr pulls the source dry without ever consulting Err(): a
+// failed stream truncates the workload silently.
+func drainNoErr(src workload.JobSource) int {
+	n := 0
+	for { // want `loop drains a workload\.JobSource but the function never checks Err\(\)`
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// drainChecked consults Err after the loop — the contract the analyzer
+// enforces.
+func drainChecked(src workload.JobSource) (int, error) {
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n, src.Err()
+}
+
+// counter wraps another source; as a JobSource itself it propagates the
+// inner error through its own Err by contract, so its drain loop is
+// exempt.
+type counter struct {
+	src workload.JobSource
+	n   int
+}
+
+func (c *counter) Name() string { return c.src.Name() }
+func (c *counter) CPUs() int    { return c.src.CPUs() }
+func (c *counter) Next() (workload.Job, bool) {
+	j, ok := c.src.Next()
+	if ok {
+		c.n++
+	}
+	return j, ok
+}
+func (c *counter) Reset() error { return c.src.Reset() }
+func (c *counter) Err() error   { return c.src.Err() }
+
+func (c *counter) drainAll() {
+	for {
+		if _, ok := c.src.Next(); !ok {
+			return
+		}
+	}
+}

@@ -72,3 +72,96 @@ func (s *Scenario) contentHash() string {
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
+
+// ── Hash-coverage declaration ────────────────────────────────────────
+//
+// Machine-checked by reprovet's hashcover analyzer (internal/analysis):
+// every field of Spec must appear in exactly one of the two maps below,
+// and every Scenario field named on the right-hand side of hashedVia
+// must actually be read by contentHash above. Adding a Spec field
+// without extending one of these maps — i.e. without deciding whether
+// the field is part of the cache key — fails `go test ./...` (the
+// driver test in internal/analysis) and the CI reprovet step.
+//
+// How to classify a new Spec field:
+//
+//  1. Could the field change any byte of the Outcome (the schedule, the
+//     Results, controller stats)? Then it is result-relevant: fold its
+//     canonical resolved form into contentHash, and record in hashedVia
+//     which Scenario field carries it there. Hash the RESOLVED form,
+//     not the raw spec value, so spellings that compile identically
+//     ("easy" vs "") share a cache entry.
+//
+//  2. Otherwise it must be proven result-neutral the way the entries of
+//     hashNeutral are — a byte-identity test in the verification spine
+//     exercising both settings — and allowlisted here with that
+//     justification. Never allowlist a field because hashing it is
+//     inconvenient: a missed result-relevant field silently poisons
+//     cmd/schedd's cache key and any future hash-sharded backends,
+//     returning one configuration's results for another's query.
+
+// hashedVia maps each result-relevant Spec field to the resolved
+// Scenario field that carries it into contentHash.
+var hashedVia = map[string]string{
+	// The workload: name/Jobs/SWFCPUs/Filter (and the pre-resolved
+	// Trace/Source/Factory escape hatches) all fold into the canonical
+	// workload descriptor line.
+	"Workload": "wdesc",
+	"Jobs":     "wdesc",
+	"SWFCPUs":  "wdesc",
+	"Filter":   "wdesc",
+	"Trace":    "wdesc",
+	"Source":   "wdesc",
+	"Factory":  "wdesc",
+
+	// Machine size: SizeFactor and CPUs resolve to one processor count.
+	"SizeFactor": "cpus",
+	"CPUs":       "cpus",
+
+	// Scheduling options.
+	"Variant":      "variant",
+	"Selection":    "selection",
+	"Order":        "order",
+	"Reservations": "reservations",
+
+	// Power and execution-time model.
+	"Gears":      "gears",
+	"PowerModel": "pm",
+	"Beta":       "beta",
+	"ShortJobTh": "shortTh",
+
+	// Gear policy and power controller, via their full-fidelity
+	// canonical descriptors (policyDescriptor / controllerDescriptor).
+	"Policy":         "policyDesc",
+	"GearPolicy":     "policyDesc",
+	"Controller":     "controllerDesc",
+	"GearController": "controllerDesc",
+}
+
+// hashNeutral is the documented result-neutral allowlist: Spec fields
+// deliberately excluded from the hash, each with the proof that makes
+// the exclusion safe.
+var hashNeutral = map[string]string{
+	"Materialize":    "arena replay vs cloned-cursor streaming is pinned bit-identical (TestStreamMatchesGenerate; BenchmarkStreamingMillionHeap asserts Results equality in-bench)",
+	"KeepCollector":  "retained per-job records never change Results: the streaming collector folds them online bit-identically (streaming-vs-retained collector tests)",
+	"ExtraRecorders": "recorders observe the run; one that mutated scheduling state would break its own Recorder contract, not the hash",
+	"Compat":         "every compat mode is pinned byte-identical to the optimized path by the determinism suite (internal/sched/compat_test.go)",
+}
+
+// HashCoverage returns copies of the hash-coverage declaration: the
+// Spec-field→Scenario-field map the canonical hash covers, and the
+// result-neutral allowlist with its justifications. Exposed for tests
+// and tooling; the authoritative check is reprovet's hashcover analyzer.
+func HashCoverage() (hashed, neutral map[string]string) {
+	hashed = make(map[string]string, len(hashedVia))
+	//lint:nondeterm copying map→map is order-insensitive
+	for k, v := range hashedVia {
+		hashed[k] = v
+	}
+	neutral = make(map[string]string, len(hashNeutral))
+	//lint:nondeterm copying map→map is order-insensitive
+	for k, v := range hashNeutral {
+		neutral[k] = v
+	}
+	return hashed, neutral
+}
