@@ -176,4 +176,32 @@
 // regressions assert both paths produce identical schedules under every
 // base policy and queue order, and TestGoldenArtifactCSVs pins every
 // paper table and figure byte-for-byte against testdata/golden.
+//
+// # Static analysis
+//
+// The conventions the runtime spine cannot test — contracts between
+// packages rather than behaviors of one run — are machine-checked by
+// reprovet, a custom analyzer suite (internal/analysis) run three ways:
+// as the driver test in internal/analysis under plain `go test ./...`,
+// as `go run ./cmd/reprovet ./...` in CI (-json for machine-readable
+// diagnostics), and per-analyzer against fixtures under
+// internal/analysis/testdata/src. Four analyzers:
+//
+//   - retain: sched.Recorder / sched.GearObserver implementations must
+//     not store a pooled *sched.RunState (or pooled memory reachable
+//     from one — rs.Phases, rs.Alloc.Runs) into fields, elements or
+//     globals: the scheduler recycles run states after JobFinished.
+//   - hashcover: every scenario.Spec field must be folded into the
+//     canonical content hash or allowlisted as result-neutral in the
+//     hashedVia/hashNeutral declaration next to contentHash — adding a
+//     Spec field without deciding its hash status fails the build.
+//   - determinism: the deterministic core (sched, profile, sim, cluster,
+//     scenario) must stay free of observed map iteration, wall-clock
+//     time, the global math/rand source and goroutine spawns.
+//   - srcerr: workload.JobSource drain loops must check Err(), and
+//     error results must never be blank-discarded in non-test code.
+//
+// A finding is waived only by `//lint:<analyzer> <justification>` on the
+// flagged line or the line above (determinism uses //lint:nondeterm);
+// the justification is mandatory and its absence is itself reported.
 package repro
